@@ -1,0 +1,21 @@
+//! # vqs-baseline — comparison systems for the evaluation
+//!
+//! Two baselines the paper compares against in §VIII-E:
+//!
+//! * [`sampling`] — the prior data-vocalization approach (refs. 25, 28):
+//!   query-time fact selection on incremental row samples, anytime first
+//!   sentence, range-valued output. Drives the latency/processing-time
+//!   comparison of Fig. 10 and the preference study of Fig. 11.
+//! * [`mlgen`] — the learned text-generation baseline: a template-
+//!   retrieval substitute for the paper's Simpletransformers seq2seq
+//!   model, reproducing its reported failure modes (redundant facts,
+//!   overly narrow scopes).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mlgen;
+pub mod sampling;
+
+pub use mlgen::{MlGenerator, TrainExample};
+pub use sampling::{vocalize, RangeFact, SamplingConfig, SamplingResult};

@@ -1,0 +1,61 @@
+//! Fact-group pruning ablation: per-iteration fact selection under the
+//! three strategies, plus the plan optimizer itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vqs_core::algorithms::optimizer::{enumerate_plans, optimal_plan, PruneOptimizerConfig};
+use vqs_core::algorithms::pruning::{plan_for, select_best_fact_with_plan};
+use vqs_core::prelude::*;
+use vqs_data::{scenarios, DEFAULT_SEED};
+use vqs_engine::prelude::*;
+
+fn setup() -> (EncodedRelation, FactCatalog) {
+    let dataset = scenarios::stackoverflow_spec().generate(DEFAULT_SEED, 0.04);
+    let dims: Vec<&str> = dataset.dims.iter().map(String::as_str).collect();
+    let config = Configuration::new("so", &dims, &["optimism"]);
+    let relation = target_relation(&dataset, &config, "optimism").unwrap();
+    let catalog =
+        FactCatalog::build(&relation, &(0..relation.dim_count()).collect::<Vec<_>>(), 2).unwrap();
+    (relation, catalog)
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let (relation, catalog) = setup();
+    let problem = Problem::new(&relation, &catalog, 3).unwrap();
+    let residual = ResidualState::new(&relation);
+    let mut group = c.benchmark_group("select_best_fact");
+    for pruning in [
+        FactPruning::Off,
+        FactPruning::naive(),
+        FactPruning::optimized(),
+    ] {
+        let name = match &pruning {
+            FactPruning::Off => "off",
+            FactPruning::Naive(_) => "naive",
+            FactPruning::Optimized(_) => "optimized",
+        };
+        let plan = plan_for(&problem, &pruning);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut counters = Instrumentation::default();
+                select_best_fact_with_plan(&problem, &residual, plan.as_ref(), &mut counters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_optimizer(c: &mut Criterion) {
+    let (_, catalog) = setup();
+    let config = PruneOptimizerConfig::default();
+    let mut group = c.benchmark_group("plan_optimizer");
+    group.bench_function("enumerate", |b| {
+        b.iter(|| enumerate_plans(catalog.groups(), &config))
+    });
+    group.bench_function("optimal", |b| {
+        b.iter(|| optimal_plan(catalog.groups(), catalog.rows(), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_plan_optimizer);
+criterion_main!(benches);

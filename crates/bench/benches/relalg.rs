@@ -1,0 +1,55 @@
+//! Relational-engine micro-benchmarks, including the scope-join strategy
+//! ablation (partitioned hash buckets vs nested loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vqs_core::prelude::*;
+use vqs_core::relational::{data_table, fact_table};
+use vqs_data::{scenarios, DEFAULT_SEED};
+use vqs_engine::prelude::*;
+use vqs_relalg::ops::aggregate::{aggregate, AggFunc, AggItem};
+use vqs_relalg::ops::join::{scope_join, scope_join_nested_loop};
+use vqs_relalg::prelude::*;
+
+fn tables() -> (Table, Table, usize) {
+    let dataset = scenarios::acs_spec().generate(DEFAULT_SEED, 0.05);
+    let dims: Vec<&str> = dataset.dims.iter().map(String::as_str).collect();
+    let config = Configuration::new("acs", &dims, &["visual"]);
+    let relation = target_relation(&dataset, &config, "visual").unwrap();
+    let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+    let facts = fact_table(&relation, &catalog).unwrap();
+    let data = data_table(&relation).unwrap();
+    (facts, data, relation.dim_count())
+}
+
+fn bench_scope_join(c: &mut Criterion) {
+    let (facts, data, dim_count) = tables();
+    let dims: Vec<(usize, usize)> = (0..dim_count).map(|d| (1 + d, 1 + d)).collect();
+    let mut group = c.benchmark_group("scope_join");
+    group.sample_size(20);
+    group.bench_function("partitioned", |b| {
+        b.iter(|| scope_join(&facts, &data, &dims).unwrap().len())
+    });
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| scope_join_nested_loop(&facts, &data, &dims).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let (_, data, _) = tables();
+    c.bench_function("aggregate_group_by", |b| {
+        b.iter(|| {
+            aggregate(
+                &data,
+                &[Expr::col(1)],
+                &["k"],
+                &[AggItem::new(AggFunc::Avg, Expr::col(4), "avg")],
+            )
+            .unwrap()
+            .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_scope_join, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Run-time speech-store lookups (the Fig. 10 "our latency" path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vqs_core::prelude::GreedySummarizer;
+use vqs_data::{scenarios, DEFAULT_SEED};
+use vqs_engine::prelude::*;
+
+fn bench_lookup(c: &mut Criterion) {
+    let dataset = scenarios::flights_spec().generate(DEFAULT_SEED, 0.02);
+    let dims: Vec<&str> = dataset.dims.iter().map(String::as_str).collect();
+    let config = Configuration::new("flights", &dims, &["cancelled"]);
+    let (store, _) = preprocess(
+        &dataset,
+        &config,
+        &GreedySummarizer::with_optimized_pruning(),
+        &PreprocessOptions::default(),
+    )
+    .unwrap();
+    let queries = store.queries();
+    let exact = queries.iter().find(|q| q.len() == 1).unwrap().clone();
+    // A query whose exact combination is absent: exercises the fallback.
+    let fallback = Query::of(
+        "cancelled",
+        &[
+            ("season", "Winter"),
+            ("weekday", "Mon"),
+            ("daypart", "night"),
+        ],
+    );
+
+    let mut group = c.benchmark_group("store_lookup");
+    group.bench_function("exact_hit", |b| b.iter(|| store.lookup(&exact)));
+    group.bench_function("generalization_fallback", |b| {
+        b.iter(|| store.lookup(&fallback))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerate the paper's tables and figures: `experiments all` or a
+//! single id (`table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ml`).
+//!
+//! Options:
+//!   --scale X         data scale factor (default 0.05)
+//!   --queries N       max queries sampled per scenario (default 60)
+//!   --timeout-secs N  per-(scenario, algorithm) budget (default 20)
+//!   --workers N       pre-processing threads
+//!   --seed N          master seed
+
+use vqs_bench::{experiments, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RunConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let mut take_value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => config.scale = take_value("--scale").parse().expect("numeric scale"),
+            "--queries" => {
+                config.query_limit = take_value("--queries").parse().expect("numeric limit")
+            }
+            "--timeout-secs" => {
+                config.timeout = std::time::Duration::from_secs(
+                    take_value("--timeout-secs")
+                        .parse()
+                        .expect("numeric seconds"),
+                )
+            }
+            "--workers" => {
+                config.workers = take_value("--workers").parse().expect("numeric workers")
+            }
+            "--seed" => config.seed = take_value("--seed").parse().expect("numeric seed"),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|id| id == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "vqs experiments: scale {}, query limit {}, timeout {:?}, {} workers, seed {:#x}",
+        config.scale, config.query_limit, config.timeout, config.workers, config.seed
+    );
+    for id in &ids {
+        if !experiments::run(id, &config) {
+            eprintln!("unknown experiment '{id}'; known: {:?}", experiments::ALL);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 4: scalability of G-O vs G-P in speech length (number of
+//! selected facts) and in the maximal dimensions per fact.
+//!
+//! Paper shape: time grows gracefully with speech length and much more
+//! steeply with fact dimensions (the candidate-fact space explodes);
+//! G-O stays below G-P throughout.
+
+use std::time::Duration;
+
+use vqs_core::prelude::*;
+use vqs_engine::prelude::*;
+
+use crate::{
+    fmt_duration, print_table, run_batch, sample_items, scenario_dataset, single_target_config,
+    RunConfig,
+};
+
+const SCENARIOS: [(&str, &str); 3] = [
+    ("A-H", "hearing"),
+    ("F-C", "cancelled"),
+    ("S-O", "optimism"),
+];
+
+/// Run both Fig. 4 sweeps.
+pub fn run(config: &RunConfig) {
+    length_sweep(config);
+    dims_sweep(config);
+}
+
+fn length_sweep(config: &RunConfig) {
+    let mut rows = Vec::new();
+    for (scenario, target) in SCENARIOS {
+        let dataset = scenario_dataset(scenario.chars().next().unwrap(), config);
+        let mut engine_config = single_target_config(&dataset, target);
+        let relation = target_relation(&dataset, &engine_config, target).expect("target exists");
+        let items = sample_items(
+            enumerate_queries(&relation, &engine_config, target),
+            config.query_limit / 2,
+        );
+        for speech_length in [2usize, 3, 4, 5] {
+            engine_config.speech_length = speech_length;
+            let mut cells = vec![scenario.to_string(), speech_length.to_string()];
+            for algo in [
+                GreedySummarizer::with_naive_pruning(),
+                GreedySummarizer::with_optimized_pruning(),
+            ] {
+                let outcome = run_batch(
+                    &relation,
+                    &engine_config,
+                    &algo,
+                    &items,
+                    Duration::from_secs(120),
+                );
+                cells.push(fmt_duration(outcome.elapsed));
+            }
+            rows.push(cells);
+        }
+    }
+    print_table(
+        "Fig. 4 (top) — scaling speech length (G-P vs G-O)",
+        &["Scenario", "Speech length", "G-P time", "G-O time"],
+        &rows,
+    );
+}
+
+fn dims_sweep(config: &RunConfig) {
+    let mut rows = Vec::new();
+    for (scenario, target) in SCENARIOS {
+        let dataset = scenario_dataset(scenario.chars().next().unwrap(), config);
+        let mut engine_config = single_target_config(&dataset, target);
+        let relation = target_relation(&dataset, &engine_config, target).expect("target exists");
+        let items = sample_items(
+            enumerate_queries(&relation, &engine_config, target),
+            config.query_limit / 2,
+        );
+        for fact_dims in [1usize, 2, 3] {
+            engine_config.max_fact_dimensions = fact_dims;
+            let mut cells = vec![scenario.to_string(), fact_dims.to_string()];
+            for algo in [
+                GreedySummarizer::with_naive_pruning(),
+                GreedySummarizer::with_optimized_pruning(),
+            ] {
+                let outcome = run_batch(
+                    &relation,
+                    &engine_config,
+                    &algo,
+                    &items,
+                    Duration::from_secs(240),
+                );
+                cells.push(fmt_duration(outcome.elapsed));
+            }
+            rows.push(cells);
+        }
+    }
+    print_table(
+        "Fig. 4 (bottom) — scaling dimensions per fact (G-P vs G-O)",
+        &["Scenario", "Fact dims", "G-P time", "G-O time"],
+        &rows,
+    );
+    println!(
+        "paper shape: graceful growth in speech length, steep growth in fact \
+         dimensions; G-O below G-P."
+    );
+}

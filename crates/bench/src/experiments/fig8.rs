@@ -1,0 +1,44 @@
+//! Fig. 8: voice vs visual interface user study (10 participants,
+//! timed questions plus usability ratings).
+//!
+//! Paper shape: "the majority of users were slightly faster using the
+//! voice interface"; usability evaluations scatter without a clear
+//! winner.
+
+use vqs_usersim as usersim;
+
+use crate::{print_table, RunConfig};
+
+/// Run the interface study.
+pub fn run(config: &RunConfig) {
+    // A typical pre-generated answer is ~30 words ≈ 11 s of speech.
+    let points = usersim::fig8(10, 11.0, config.seed);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("P{}", p.participant + 1),
+                format!("{:.1}s", p.vocal_time),
+                format!("{:.1}s", p.visual_time),
+                format!("{:.1}", p.vocal_eval),
+                format!("{:.1}", p.visual_eval),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8 — per-participant median answer times and usability ratings",
+        &[
+            "Participant",
+            "Vocal time",
+            "Visual time",
+            "Vocal eval",
+            "Visual eval",
+        ],
+        &rows,
+    );
+    let faster = points
+        .iter()
+        .filter(|p| p.vocal_time < p.visual_time)
+        .count();
+    println!("{faster}/10 participants faster with voice (paper shape: a majority, not all).");
+}

@@ -1,0 +1,39 @@
+//! One module per table/figure of the paper's evaluation (§VIII).
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod ml;
+pub mod table1;
+
+use crate::RunConfig;
+
+/// Experiment ids in paper order.
+pub const ALL: [&str; 11] = [
+    "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ml",
+];
+
+/// Run one experiment by id. Returns false for unknown ids.
+pub fn run(id: &str, config: &RunConfig) -> bool {
+    match id {
+        "table1" => table1::run(config),
+        "fig3" => fig3::run(config),
+        "fig4" => fig4::run(config),
+        "fig5" | "table2" => fig5::run(config),
+        "fig6" => fig6::run(config),
+        "fig7" => fig7::run(config),
+        "fig8" => fig8::run(config),
+        "fig9" | "table3" => fig9::run(config),
+        "fig10" => fig10::run(config),
+        "fig11" => fig11::run(config),
+        "ml" => ml::run(config),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,505 @@
+//! Fact candidate enumeration and the group/partition index.
+//!
+//! §III: "The facts considered for summarization report average values in
+//! the target column for data subsets. We consider one fact for each data
+//! subset defined by a conjunction of the query predicates and, by
+//! default, up to two additional equality predicates on the dimensions
+//! (considering equality predicates for all value combinations that appear
+//! in the data set)."
+//!
+//! A [`FactCatalog`] materializes exactly those candidates for one
+//! (already query-filtered) relation: one [`FactGroup`] per subset of the
+//! free dimension columns up to the configured size, one fact per distinct
+//! value combination appearing in the data. Each group stores a row→fact
+//! partition index so that per-fact utility gains and deviation bounds are
+//! computed in one pass over the rows — the direct-execution analogue of
+//! the paper's fact/data joins and group-by queries.
+
+use vqs_relalg::hash::FxHashMap;
+
+use crate::error::{CoreError, Result};
+use crate::instrument::Instrumentation;
+use crate::model::fact::{Fact, FactId, Scope};
+use crate::model::relation::EncodedRelation;
+use crate::model::utility::ResidualState;
+
+/// One fact group: all facts restricting the same set of dimensions
+/// (§VI-B prunes "at the granularity of fact groups, characterized by the
+/// set of restricted dimension columns").
+#[derive(Debug, Clone)]
+pub struct FactGroup {
+    /// Bitmask of restricted dimensions.
+    pub mask: u32,
+    /// Restricted dimension indexes, ascending.
+    pub cols: Vec<usize>,
+    /// First fact of this group in the catalog's fact list.
+    pub fact_start: FactId,
+    /// Number of facts in the group (`M(g)` in §VI-C).
+    pub fact_count: usize,
+    /// Per-row fact offset within the group: row `r` falls within the scope
+    /// of exactly the fact `fact_start + row_fact[r]`.
+    row_fact: Vec<u32>,
+}
+
+impl FactGroup {
+    /// Global [`FactId`] of the group fact covering `row`.
+    #[inline]
+    pub fn fact_of_row(&self, row: usize) -> FactId {
+        self.fact_start + self.row_fact[row] as usize
+    }
+
+    /// Fact ids of this group.
+    pub fn fact_ids(&self) -> std::ops::Range<FactId> {
+        self.fact_start..self.fact_start + self.fact_count
+    }
+}
+
+/// The candidate facts for one summarization problem.
+#[derive(Debug, Clone)]
+pub struct FactCatalog {
+    facts: Vec<Fact>,
+    groups: Vec<FactGroup>,
+    rows: usize,
+}
+
+impl FactCatalog {
+    /// Enumerate all facts over `relation` restricting at most `max_dims`
+    /// of the `free_dims` columns, including the empty scope (the overall
+    /// average — the "general cancellation probability" style fact of the
+    /// paper's Example 5).
+    ///
+    /// `free_dims` are the dimensions not already fixed by query
+    /// predicates; restricting a fixed dimension would duplicate facts.
+    pub fn build(
+        relation: &EncodedRelation,
+        free_dims: &[usize],
+        max_dims: usize,
+    ) -> Result<FactCatalog> {
+        Self::build_with_scope_sizes(relation, free_dims, 0, max_dims)
+    }
+
+    /// Like [`FactCatalog::build`] but with a *minimum* scope size as well —
+    /// `min_dims = 1` excludes the overall-average fact, matching the fact
+    /// pool of the paper's Example 7 ("all facts … describing flights
+    /// within a specific region or season or both").
+    pub fn build_with_scope_sizes(
+        relation: &EncodedRelation,
+        free_dims: &[usize],
+        min_dims: usize,
+        max_dims: usize,
+    ) -> Result<FactCatalog> {
+        for &d in free_dims {
+            if d >= relation.dim_count() {
+                return Err(CoreError::DimensionOutOfRange {
+                    dim: d,
+                    dims: relation.dim_count(),
+                });
+            }
+        }
+        if free_dims.len() > 32 {
+            return Err(CoreError::InvalidProblem {
+                detail: format!(
+                    "at most 32 free dimensions supported, got {}",
+                    free_dims.len()
+                ),
+            });
+        }
+        let mut sorted_dims = free_dims.to_vec();
+        sorted_dims.sort_unstable();
+        sorted_dims.dedup();
+
+        let mut facts = Vec::new();
+        let mut groups = Vec::new();
+        for subset in subsets_up_to(&sorted_dims, max_dims) {
+            if subset.len() < min_dims {
+                continue;
+            }
+            let group = build_group(relation, &subset, &mut facts)?;
+            groups.push(group);
+        }
+        if groups.is_empty() {
+            return Err(CoreError::InvalidProblem {
+                detail: format!(
+                    "no fact groups: min_dims {min_dims} exceeds max_dims {max_dims} or free dims"
+                ),
+            });
+        }
+        Ok(FactCatalog {
+            facts,
+            groups,
+            rows: relation.len(),
+        })
+    }
+
+    /// All candidate facts.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Fact by id.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id]
+    }
+
+    /// Number of candidate facts (`k = |F|` in §VII).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when no facts were enumerated (empty relation).
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The fact groups, ordered by subset enumeration (empty scope first,
+    /// then single dimensions, then pairs, ...).
+    pub fn groups(&self) -> &[FactGroup] {
+        &self.groups
+    }
+
+    /// Number of rows the catalog was built over.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Index of the group that owns `fact`.
+    pub fn group_of(&self, fact: FactId) -> usize {
+        match self.groups.binary_search_by(|g| {
+            if fact < g.fact_start {
+                std::cmp::Ordering::Greater
+            } else if fact >= g.fact_start + g.fact_count {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => unreachable!("fact id out of catalog range"),
+        }
+    }
+
+    /// Utility gains of every fact in `group` against the current
+    /// residuals, in one pass over the rows (the direct analogue of the
+    /// fact/data join plus grouped sum in Algorithm 2 Line 7).
+    pub fn group_gains(
+        &self,
+        relation: &EncodedRelation,
+        residual: &ResidualState,
+        group: usize,
+        counters: &mut Instrumentation,
+    ) -> Vec<f64> {
+        let group = &self.groups[group];
+        let mut gains = vec![0.0f64; group.fact_count];
+        let facts = &self.facts[group.fact_start..group.fact_start + group.fact_count];
+        for row in 0..self.rows {
+            let offset = group.row_fact[row] as usize;
+            let dev = (facts[offset].value - relation.target(row)).abs();
+            let improvement = residual.residual(row) - dev;
+            if improvement > 0.0 {
+                gains[offset] += improvement;
+            }
+        }
+        counters.gain_passes += 1;
+        counters.gain_row_touches += self.rows as u64;
+        gains
+    }
+
+    /// Per-fact upper bounds on utility gain for one group: the summed
+    /// residual deviation of the rows within each fact's scope ("adding a
+    /// fact can at most decrease error to zero in the data region the
+    /// fact refers to", §VI-B). The paper's Example 8 quotes these values
+    /// (facts referencing Fall ≤ 10, facts referencing the East ≤ 5).
+    pub fn group_fact_bounds(
+        &self,
+        residual: &ResidualState,
+        group: usize,
+        counters: &mut Instrumentation,
+    ) -> Vec<f64> {
+        let group = &self.groups[group];
+        let mut sums = vec![0.0f64; group.fact_count];
+        for row in 0..self.rows {
+            sums[group.row_fact[row] as usize] += residual.residual(row);
+        }
+        counters.bound_passes += 1;
+        counters.bound_row_touches += self.rows as u64;
+        sums
+    }
+
+    /// Upper bound on the utility gain of any fact in `group`: the maximum
+    /// of [`FactCatalog::group_fact_bounds`] (Algorithm 3 Line 15).
+    pub fn group_bound(
+        &self,
+        residual: &ResidualState,
+        group: usize,
+        counters: &mut Instrumentation,
+    ) -> f64 {
+        self.group_fact_bounds(residual, group, counters)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// Single-fact utilities of every fact (used by the exact algorithm to
+    /// order facts and bound expansions).
+    pub fn single_fact_utilities(
+        &self,
+        relation: &EncodedRelation,
+        counters: &mut Instrumentation,
+    ) -> Vec<f64> {
+        let base = ResidualState::new(relation);
+        let mut utilities = vec![0.0f64; self.facts.len()];
+        for (g, _) in self.groups.iter().enumerate() {
+            let gains = self.group_gains(relation, &base, g, counters);
+            let start = self.groups[g].fact_start;
+            utilities[start..start + gains.len()].copy_from_slice(&gains);
+        }
+        utilities
+    }
+}
+
+/// Enumerate all subsets of `dims` with at most `max_size` elements,
+/// smallest first (the empty subset leads).
+fn subsets_up_to(dims: &[usize], max_size: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for size in 1..=max_size.min(dims.len()) {
+        for combo in combinations(dims.len(), size) {
+            out.push(combo.iter().map(|&i| dims[i]).collect());
+        }
+    }
+    out
+}
+
+/// All `size`-combinations of `0..n` in lexicographic order.
+fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if size > n {
+        return out;
+    }
+    let mut combo: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(combo.clone());
+        let mut i = size;
+        let mut advanced = false;
+        while i > 0 {
+            i -= 1;
+            if combo[i] != i + n - size {
+                combo[i] += 1;
+                for j in i + 1..size {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    out
+}
+
+fn build_group(
+    relation: &EncodedRelation,
+    cols: &[usize],
+    facts: &mut Vec<Fact>,
+) -> Result<FactGroup> {
+    let fact_start = facts.len();
+    let mut combo_index: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+    let mut row_fact = Vec::with_capacity(relation.len());
+    let mut sums: Vec<f64> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut keys: Vec<Vec<u32>> = Vec::new();
+    for row in 0..relation.len() {
+        let key: Vec<u32> = cols.iter().map(|&d| relation.code(d, row)).collect();
+        let offset = match combo_index.get(&key) {
+            Some(&o) => o,
+            None => {
+                let o = sums.len() as u32;
+                combo_index.insert(key.clone(), o);
+                keys.push(key);
+                sums.push(0.0);
+                counts.push(0);
+                o
+            }
+        };
+        sums[offset as usize] += relation.target(row);
+        counts[offset as usize] += 1;
+        row_fact.push(offset);
+    }
+    let mask = cols.iter().fold(0u32, |m, &d| m | (1 << d));
+    for ((key, sum), count) in keys.iter().zip(&sums).zip(&counts) {
+        let pairs: Vec<(usize, u32)> = cols.iter().copied().zip(key.iter().copied()).collect();
+        let scope = Scope::from_pairs(&pairs)?;
+        facts.push(Fact::new(scope, sum / *count as f64, *count));
+    }
+    Ok(FactGroup {
+        mask,
+        cols: cols.to_vec(),
+        fact_start,
+        fact_count: sums.len(),
+        row_fact,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::relation::Prior;
+    use crate::model::utility;
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["region", "season"],
+            "delay",
+            vec![
+                (vec!["East", "Winter"], 20.0),
+                (vec!["South", "Winter"], 10.0),
+                (vec!["South", "Summer"], 20.0),
+                (vec!["East", "Summer"], 0.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_expected_fact_count() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        // Empty scope (1) + region (2) + season (2) + region×season (4).
+        assert_eq!(catalog.len(), 9);
+        assert_eq!(catalog.groups().len(), 4);
+        let masks: Vec<u32> = catalog.groups().iter().map(|g| g.mask).collect();
+        assert_eq!(masks, vec![0b00, 0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn max_dims_limits_groups() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 1).unwrap();
+        assert_eq!(catalog.groups().len(), 3);
+        assert_eq!(catalog.len(), 5);
+        let catalog = FactCatalog::build(&r, &[0, 1], 0).unwrap();
+        assert_eq!(catalog.len(), 1); // just the overall average
+        assert_eq!(catalog.fact(0).value, 12.5);
+    }
+
+    #[test]
+    fn facts_average_their_scope() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        for fact in catalog.facts() {
+            let recomputed = Fact::for_scope(&r, fact.scope.clone()).unwrap();
+            assert!((fact.value - recomputed.value).abs() < 1e-12);
+            assert_eq!(fact.support, recomputed.support);
+        }
+    }
+
+    #[test]
+    fn row_partition_is_consistent() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        for group in catalog.groups() {
+            for row in 0..r.len() {
+                let fact = catalog.fact(group.fact_of_row(row));
+                assert!(fact.scope.matches_row(&r, row));
+            }
+        }
+    }
+
+    #[test]
+    fn group_of_inverts_fact_ids() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        for (g, group) in catalog.groups().iter().enumerate() {
+            for id in group.fact_ids() {
+                assert_eq!(catalog.group_of(id), g);
+            }
+        }
+    }
+
+    #[test]
+    fn gains_match_direct_computation() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        let state = ResidualState::new(&r);
+        let mut counters = Instrumentation::default();
+        for (g, group) in catalog.groups().iter().enumerate() {
+            let gains = catalog.group_gains(&r, &state, g, &mut counters);
+            for (offset, gain) in gains.iter().enumerate() {
+                let fact = catalog.fact(group.fact_start + offset);
+                let direct = state.gain_of(&r, fact);
+                assert!((gain - direct).abs() < 1e-12, "group {g} fact {offset}");
+            }
+        }
+        assert!(counters.gain_passes >= 4);
+        assert_eq!(counters.gain_row_touches, 16);
+    }
+
+    #[test]
+    fn single_fact_utilities_match_utility_fn() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        let mut counters = Instrumentation::default();
+        let utilities = catalog.single_fact_utilities(&r, &mut counters);
+        for (id, fact) in catalog.facts().iter().enumerate() {
+            let direct = utility::utility(&r, std::slice::from_ref(fact));
+            assert!((utilities[id] - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounds_dominate_gains() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        let state = ResidualState::new(&r);
+        let mut counters = Instrumentation::default();
+        for g in 0..catalog.groups().len() {
+            let bound = catalog.group_bound(&state, g, &mut counters);
+            let gains = catalog.group_gains(&r, &state, g, &mut counters);
+            for gain in gains {
+                assert!(bound >= gain - 1e-12);
+            }
+        }
+        assert_eq!(counters.bound_passes, 4);
+    }
+
+    #[test]
+    fn free_dims_exclude_fixed_columns() {
+        let r = relation();
+        // Only season free: no region-restricted facts.
+        let catalog = FactCatalog::build(&r, &[1], 2).unwrap();
+        assert_eq!(catalog.groups().len(), 2);
+        assert!(catalog.facts().iter().all(|f| !f.scope.restricts(0)));
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        let r = relation();
+        assert!(FactCatalog::build(&r, &[5], 2).is_err());
+    }
+
+    #[test]
+    fn subsets_enumeration_orders_by_size() {
+        let subsets = subsets_up_to(&[0, 1, 2], 2);
+        assert_eq!(
+            subsets,
+            vec![
+                vec![],
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+            ]
+        );
+        assert_eq!(subsets_up_to(&[3, 7], 5).len(), 4);
+    }
+
+    #[test]
+    fn combinations_basic() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+        assert!(combinations(2, 3).is_empty());
+    }
+}

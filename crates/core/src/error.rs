@@ -1,0 +1,91 @@
+//! Error type for the summarization core.
+
+use std::fmt;
+
+/// Errors raised by model construction and the summarization algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A dimension column index is out of range.
+    DimensionOutOfRange {
+        /// The offending index.
+        dim: usize,
+        /// Number of dimensions in the relation.
+        dims: usize,
+    },
+    /// A dimension value code is out of range for its column.
+    ValueOutOfRange {
+        /// Dimension index.
+        dim: usize,
+        /// The offending value code.
+        value: u32,
+    },
+    /// The relation was built with inconsistent column lengths.
+    LengthMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A problem instance is malformed (e.g. zero facts requested).
+    InvalidProblem {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An error bubbled up from the relational engine.
+    Relational(vqs_relalg::error::RelalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionOutOfRange { dim, dims } => {
+                write!(
+                    f,
+                    "dimension index {dim} out of range (relation has {dims})"
+                )
+            }
+            CoreError::ValueOutOfRange { dim, value } => {
+                write!(f, "value code {value} out of range for dimension {dim}")
+            }
+            CoreError::LengthMismatch { detail } => write!(f, "length mismatch: {detail}"),
+            CoreError::InvalidProblem { detail } => write!(f, "invalid problem: {detail}"),
+            CoreError::Relational(e) => write!(f, "relational engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relational(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vqs_relalg::error::RelalgError> for CoreError {
+    fn from(e: vqs_relalg::error::RelalgError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_indices() {
+        let err = CoreError::DimensionOutOfRange { dim: 5, dims: 3 };
+        assert!(err.to_string().contains('5'));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn relational_errors_convert() {
+        let inner = vqs_relalg::error::RelalgError::DivisionByZero;
+        let err: CoreError = inner.into();
+        assert!(err.to_string().contains("division"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,207 @@
+//! User expectation models (Definition 4 and the Fig. 7 alternatives).
+//!
+//! After hearing a speech, a listener forms an expectation for each row.
+//! The paper models listeners as picking, among the typical values of the
+//! facts relevant to a row (plus their prior), the value *closest* to the
+//! actual one — a listener with enough prior knowledge to weigh conflicting
+//! facts correctly. §VIII-C compares this model against three alternatives
+//! on crowd workers; all four are implemented here so the user-study
+//! reproduction can run the same comparison.
+
+use crate::model::fact::Fact;
+use crate::model::relation::EncodedRelation;
+
+/// How a listener resolves multiple relevant facts into one expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpectationModel {
+    /// Definition 4: the relevant value (prior included) closest to the
+    /// actual value. The model used by all optimization algorithms.
+    ClosestRelevant,
+    /// Adversarial variant: the relevant fact value farthest from the
+    /// actual value.
+    FarthestRelevant,
+    /// Average of the values proposed by relevant ("within scope") facts.
+    AverageRelevant,
+    /// Average of all values in the speech, relevant or not.
+    AverageAll,
+}
+
+impl ExpectationModel {
+    /// All models, in the order of Fig. 7's legend.
+    pub const ALL: [ExpectationModel; 4] = [
+        ExpectationModel::FarthestRelevant,
+        ExpectationModel::AverageRelevant,
+        ExpectationModel::ClosestRelevant,
+        ExpectationModel::AverageAll,
+    ];
+
+    /// Display label matching the paper's Fig. 7.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExpectationModel::ClosestRelevant => "Closest",
+            ExpectationModel::FarthestRelevant => "Farthest",
+            ExpectationModel::AverageRelevant => "Avg. Scope",
+            ExpectationModel::AverageAll => "Avg. All",
+        }
+    }
+
+    /// Expected value for one row after hearing `facts`.
+    ///
+    /// `prior` is the listener's prior expectation for the row; `actual`
+    /// is the row's true target value (used only by the clairvoyant
+    /// closest/farthest models). When no fact is relevant, every model
+    /// falls back to the prior — except `AverageAll`, which averages the
+    /// whole speech whenever it is non-empty.
+    pub fn expected_value(
+        &self,
+        relation: &EncodedRelation,
+        row: usize,
+        facts: &[Fact],
+        prior: f64,
+        actual: f64,
+    ) -> f64 {
+        let relevant = facts
+            .iter()
+            .filter(|f| f.scope.matches_row(relation, row))
+            .map(|f| f.value);
+        match self {
+            ExpectationModel::ClosestRelevant => relevant
+                .chain(std::iter::once(prior))
+                .min_by(|a, b| (a - actual).abs().total_cmp(&(b - actual).abs()))
+                .unwrap_or(prior),
+            ExpectationModel::FarthestRelevant => {
+                let mut iter = relevant.peekable();
+                if iter.peek().is_none() {
+                    prior
+                } else {
+                    iter.max_by(|a, b| (a - actual).abs().total_cmp(&(b - actual).abs()))
+                        .unwrap_or(prior)
+                }
+            }
+            ExpectationModel::AverageRelevant => {
+                let values: Vec<f64> = relevant.collect();
+                if values.is_empty() {
+                    prior
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+            ExpectationModel::AverageAll => {
+                if facts.is_empty() {
+                    prior
+                } else {
+                    facts.iter().map(|f| f.value).sum::<f64>() / facts.len() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fact::Scope;
+    use crate::model::relation::Prior;
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["region", "season"],
+            "delay",
+            vec![
+                (vec!["East", "Winter"], 20.0),
+                (vec!["South", "Winter"], 10.0),
+                (vec!["South", "Summer"], 20.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    fn facts(r: &EncodedRelation) -> Vec<Fact> {
+        let winter = Scope::from_pairs(&[(1, r.dims()[1].code_of("Winter").unwrap())]).unwrap();
+        let south = Scope::from_pairs(&[(0, r.dims()[0].code_of("South").unwrap())]).unwrap();
+        vec![Fact::new(winter, 15.0, 2), Fact::new(south, 15.0, 2)]
+    }
+
+    #[test]
+    fn closest_picks_best_relevant_or_prior() {
+        let r = relation();
+        let f = facts(&r);
+        let model = ExpectationModel::ClosestRelevant;
+        // Row 0 (East, Winter, 20): relevant {15}, prior 0 → 15.
+        assert_eq!(model.expected_value(&r, 0, &f, 0.0, 20.0), 15.0);
+        // Row with actual 10 and both facts relevant: {15, 15} vs prior 0 → 15.
+        assert_eq!(model.expected_value(&r, 1, &f, 0.0, 10.0), 15.0);
+        // A row whose actual is 2: prior 0 beats 15.
+        assert_eq!(model.expected_value(&r, 1, &f, 0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn closest_falls_back_to_prior_without_facts() {
+        let r = relation();
+        let model = ExpectationModel::ClosestRelevant;
+        assert_eq!(model.expected_value(&r, 0, &[], 7.0, 20.0), 7.0);
+    }
+
+    #[test]
+    fn farthest_is_adversarial() {
+        let r = relation();
+        let winter = Scope::from_pairs(&[(1, r.dims()[1].code_of("Winter").unwrap())]).unwrap();
+        let south = Scope::from_pairs(&[(0, r.dims()[0].code_of("South").unwrap())]).unwrap();
+        let f = vec![Fact::new(winter, 18.0, 2), Fact::new(south, 5.0, 2)];
+        // Row 1 (South, Winter, 10): relevant {18, 5}; farthest from 10 is 5?
+        // |18-10| = 8, |5-10| = 5 → farthest is 18.
+        assert_eq!(
+            ExpectationModel::FarthestRelevant.expected_value(&r, 1, &f, 0.0, 10.0),
+            18.0
+        );
+    }
+
+    #[test]
+    fn averages_differ_on_partially_relevant_speech() {
+        let r = relation();
+        let winter = Scope::from_pairs(&[(1, r.dims()[1].code_of("Winter").unwrap())]).unwrap();
+        let summer = Scope::from_pairs(&[(1, r.dims()[1].code_of("Summer").unwrap())]).unwrap();
+        let f = vec![Fact::new(winter, 12.0, 2), Fact::new(summer, 30.0, 1)];
+        // Row 0 is Winter: only the winter fact is relevant.
+        assert_eq!(
+            ExpectationModel::AverageRelevant.expected_value(&r, 0, &f, 0.0, 20.0),
+            12.0
+        );
+        // AverageAll mixes in the irrelevant summer fact.
+        assert_eq!(
+            ExpectationModel::AverageAll.expected_value(&r, 0, &f, 0.0, 20.0),
+            21.0
+        );
+    }
+
+    #[test]
+    fn fallbacks_without_relevant_facts() {
+        let r = relation();
+        let summer = Scope::from_pairs(&[(1, r.dims()[1].code_of("Summer").unwrap())]).unwrap();
+        let f = vec![Fact::new(summer, 30.0, 1)];
+        // Row 0 is Winter — no relevant fact.
+        assert_eq!(
+            ExpectationModel::AverageRelevant.expected_value(&r, 0, &f, 3.0, 20.0),
+            3.0
+        );
+        assert_eq!(
+            ExpectationModel::FarthestRelevant.expected_value(&r, 0, &f, 3.0, 20.0),
+            3.0
+        );
+        // AverageAll still averages the speech.
+        assert_eq!(
+            ExpectationModel::AverageAll.expected_value(&r, 0, &f, 3.0, 20.0),
+            30.0
+        );
+    }
+
+    #[test]
+    fn labels_match_figure_seven() {
+        let labels: Vec<&str> = ExpectationModel::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Farthest", "Avg. Scope", "Closest", "Avg. All"]
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! The formal problem model of §II: relations, facts, speeches, user
+//! expectations and utility.
+
+pub mod expectation;
+pub mod fact;
+pub mod relation;
+pub mod speech;
+pub mod utility;
+
+pub use expectation::ExpectationModel;
+pub use fact::{Fact, FactId, Scope};
+pub use relation::{Dimension, EncodedRelation, Prior};
+pub use speech::Speech;
+pub use utility::{base_error, speech_error, speech_error_under, utility, ResidualState};

@@ -1,0 +1,461 @@
+//! The relation to summarize, in dictionary-encoded columnar form
+//! (Definition 1 of the paper).
+
+use std::sync::Arc;
+
+use vqs_relalg::prelude::{ColumnType, Table, Value};
+
+use crate::error::{CoreError, Result};
+
+/// Metadata of one dimension column: its name and value dictionary.
+///
+/// Rows store `u32` codes indexing into `values`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    /// Column name (e.g. "season").
+    pub name: String,
+    /// Distinct values in code order (e.g. `["Spring", "Summer", ...]`).
+    pub values: Vec<Arc<str>>,
+}
+
+impl Dimension {
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Code of `value`, if present.
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.values
+            .iter()
+            .position(|v| v.as_ref() == value)
+            .map(|i| i as u32)
+    }
+}
+
+/// How user expectations are initialized before any fact is heard
+/// (the prior `P(r)` of Definition 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prior {
+    /// The same constant expectation for every row (e.g. "no delays").
+    Constant(f64),
+    /// The global mean of the target column — the prior used throughout the
+    /// paper's experiments ("we use the average value in the target column
+    /// as a (constant) prior", §VIII-A).
+    GlobalMean,
+    /// An arbitrary per-row prior.
+    PerRow(Vec<f64>),
+}
+
+/// A relation with dictionary-encoded dimension columns and one numeric
+/// target column (Definition 1).
+///
+/// `dim_codes` is column-major: `dim_codes[d][row]` is the code of row
+/// `row` in dimension `d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedRelation {
+    dims: Vec<Dimension>,
+    dim_codes: Vec<Vec<u32>>,
+    target: Vec<f64>,
+    target_name: String,
+    prior: Prior,
+}
+
+impl EncodedRelation {
+    /// Build a relation; validates column lengths and value codes.
+    pub fn new(
+        dims: Vec<Dimension>,
+        dim_codes: Vec<Vec<u32>>,
+        target: Vec<f64>,
+        target_name: impl Into<String>,
+        prior: Prior,
+    ) -> Result<Self> {
+        if dims.len() != dim_codes.len() {
+            return Err(CoreError::LengthMismatch {
+                detail: format!(
+                    "{} dimensions but {} code columns",
+                    dims.len(),
+                    dim_codes.len()
+                ),
+            });
+        }
+        for (d, codes) in dim_codes.iter().enumerate() {
+            if codes.len() != target.len() {
+                return Err(CoreError::LengthMismatch {
+                    detail: format!(
+                        "dimension {d} has {} rows, target has {}",
+                        codes.len(),
+                        target.len()
+                    ),
+                });
+            }
+            let cardinality = dims[d].cardinality() as u32;
+            if let Some(&bad) = codes.iter().find(|&&c| c >= cardinality) {
+                return Err(CoreError::ValueOutOfRange { dim: d, value: bad });
+            }
+        }
+        if let Prior::PerRow(p) = &prior {
+            if p.len() != target.len() {
+                return Err(CoreError::LengthMismatch {
+                    detail: format!("prior has {} rows, target has {}", p.len(), target.len()),
+                });
+            }
+        }
+        Ok(EncodedRelation {
+            dims,
+            dim_codes,
+            target,
+            target_name: target_name.into(),
+            prior,
+        })
+    }
+
+    /// Build from string-valued rows: each row is (dimension values, target).
+    pub fn from_rows<'a>(
+        dim_names: &[&str],
+        target_name: &str,
+        rows: impl IntoIterator<Item = (Vec<&'a str>, f64)>,
+        prior: Prior,
+    ) -> Result<Self> {
+        let mut dims: Vec<Dimension> = dim_names
+            .iter()
+            .map(|&n| Dimension {
+                name: n.to_string(),
+                values: Vec::new(),
+            })
+            .collect();
+        let mut dim_codes: Vec<Vec<u32>> = vec![Vec::new(); dim_names.len()];
+        let mut target = Vec::new();
+        for (values, t) in rows {
+            if values.len() != dims.len() {
+                return Err(CoreError::LengthMismatch {
+                    detail: format!("row has {} dims, expected {}", values.len(), dims.len()),
+                });
+            }
+            for (d, value) in values.iter().enumerate() {
+                let code = match dims[d].code_of(value) {
+                    Some(c) => c,
+                    None => {
+                        dims[d].values.push(Arc::from(*value));
+                        (dims[d].values.len() - 1) as u32
+                    }
+                };
+                dim_codes[d].push(code);
+            }
+            target.push(t);
+        }
+        EncodedRelation::new(dims, dim_codes, target, target_name, prior)
+    }
+
+    /// Import from a relalg [`Table`]: `dim_cols` name the dimension
+    /// columns (must be strings), `target_col` the numeric target.
+    pub fn from_table(
+        table: &Table,
+        dim_cols: &[&str],
+        target_col: &str,
+        prior: Prior,
+    ) -> Result<Self> {
+        let schema = table.schema();
+        let mut dims = Vec::with_capacity(dim_cols.len());
+        let mut dim_codes: Vec<Vec<u32>> = Vec::with_capacity(dim_cols.len());
+        for &name in dim_cols {
+            let idx = schema.index_of(name)?;
+            let mut dim = Dimension {
+                name: name.to_string(),
+                values: Vec::new(),
+            };
+            let mut codes = Vec::with_capacity(table.len());
+            for row in 0..table.len() {
+                let value = table.value(row, idx);
+                let text = match &value {
+                    Value::Str(s) => s.clone(),
+                    Value::Null => {
+                        return Err(CoreError::InvalidProblem {
+                            detail: format!("NULL dimension value in '{name}' at row {row}"),
+                        })
+                    }
+                    other => Arc::from(other.to_string().as_str()),
+                };
+                let code = match dim.values.iter().position(|v| *v == text) {
+                    Some(i) => i as u32,
+                    None => {
+                        dim.values.push(text);
+                        (dim.values.len() - 1) as u32
+                    }
+                };
+                codes.push(code);
+            }
+            dims.push(dim);
+            dim_codes.push(codes);
+        }
+        let target_idx = schema.index_of(target_col)?;
+        let target_field = schema.field(target_idx)?;
+        if !matches!(target_field.ty, ColumnType::Float | ColumnType::Int) {
+            return Err(CoreError::InvalidProblem {
+                detail: format!("target column '{target_col}' is not numeric"),
+            });
+        }
+        let mut target = Vec::with_capacity(table.len());
+        for row in 0..table.len() {
+            match table.value(row, target_idx).as_f64() {
+                Some(v) => target.push(v),
+                None => {
+                    return Err(CoreError::InvalidProblem {
+                        detail: format!("NULL target value at row {row}"),
+                    })
+                }
+            }
+        }
+        EncodedRelation::new(dims, dim_codes, target, target_col, prior)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.target.len()
+    }
+
+    /// True when the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.target.is_empty()
+    }
+
+    /// Number of dimension columns.
+    pub fn dim_count(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension metadata.
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Dimension by index.
+    pub fn dim(&self, d: usize) -> Result<&Dimension> {
+        self.dims.get(d).ok_or(CoreError::DimensionOutOfRange {
+            dim: d,
+            dims: self.dims.len(),
+        })
+    }
+
+    /// Index of the dimension named `name`.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// Code of row `row` in dimension `d`.
+    #[inline]
+    pub fn code(&self, d: usize, row: usize) -> u32 {
+        self.dim_codes[d][row]
+    }
+
+    /// All codes of dimension `d`, row-aligned.
+    pub fn codes(&self, d: usize) -> &[u32] {
+        &self.dim_codes[d]
+    }
+
+    /// Target value of row `row`.
+    #[inline]
+    pub fn target(&self, row: usize) -> f64 {
+        self.target[row]
+    }
+
+    /// The whole target column.
+    pub fn targets(&self) -> &[f64] {
+        &self.target
+    }
+
+    /// Name of the target column.
+    pub fn target_name(&self) -> &str {
+        &self.target_name
+    }
+
+    /// The configured prior.
+    pub fn prior(&self) -> &Prior {
+        &self.prior
+    }
+
+    /// Replace the prior (builder style).
+    pub fn with_prior(mut self, prior: Prior) -> Result<Self> {
+        if let Prior::PerRow(p) = &prior {
+            if p.len() != self.target.len() {
+                return Err(CoreError::LengthMismatch {
+                    detail: format!(
+                        "prior has {} rows, target has {}",
+                        p.len(),
+                        self.target.len()
+                    ),
+                });
+            }
+        }
+        self.prior = prior;
+        Ok(self)
+    }
+
+    /// Mean of the target column (0 for an empty relation).
+    pub fn target_mean(&self) -> f64 {
+        if self.target.is_empty() {
+            0.0
+        } else {
+            self.target.iter().sum::<f64>() / self.target.len() as f64
+        }
+    }
+
+    /// Materialize the prior as one value per row.
+    pub fn prior_values(&self) -> Vec<f64> {
+        match &self.prior {
+            Prior::Constant(c) => vec![*c; self.len()],
+            Prior::GlobalMean => vec![self.target_mean(); self.len()],
+            Prior::PerRow(p) => p.clone(),
+        }
+    }
+
+    /// Restrict to the rows at `keep` (preserving order); dictionaries are
+    /// shared unchanged so codes remain comparable with the parent.
+    pub fn subset(&self, keep: &[usize]) -> Result<Self> {
+        for &row in keep {
+            if row >= self.len() {
+                return Err(CoreError::LengthMismatch {
+                    detail: format!("row {row} out of range ({} rows)", self.len()),
+                });
+            }
+        }
+        let dim_codes: Vec<Vec<u32>> = self
+            .dim_codes
+            .iter()
+            .map(|codes| keep.iter().map(|&r| codes[r]).collect())
+            .collect();
+        let target: Vec<f64> = keep.iter().map(|&r| self.target[r]).collect();
+        let prior = match &self.prior {
+            Prior::PerRow(p) => Prior::PerRow(keep.iter().map(|&r| p[r]).collect()),
+            other => other.clone(),
+        };
+        EncodedRelation::new(
+            self.dims.clone(),
+            dim_codes,
+            target,
+            self.target_name.clone(),
+            prior,
+        )
+    }
+
+    /// Human-readable value of row `row` in dimension `d`.
+    pub fn value_str(&self, d: usize, row: usize) -> &str {
+        &self.dims[d].values[self.dim_codes[d][row] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqs_relalg::prelude::{Field, Schema};
+
+    pub(crate) fn two_by_two() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["region", "season"],
+            "delay",
+            vec![
+                (vec!["East", "Winter"], 20.0),
+                (vec!["South", "Winter"], 10.0),
+                (vec!["South", "Summer"], 20.0),
+                (vec!["East", "Summer"], 0.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encodes_and_decodes() {
+        let r = two_by_two();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dim_count(), 2);
+        assert_eq!(r.dim(0).unwrap().cardinality(), 2);
+        assert_eq!(r.value_str(0, 1), "South");
+        assert_eq!(r.code(0, 0), r.code(0, 3)); // both East
+        assert_eq!(r.target(1), 10.0);
+    }
+
+    #[test]
+    fn dim_lookup_by_name() {
+        let r = two_by_two();
+        assert_eq!(r.dim_index("season"), Some(1));
+        assert_eq!(r.dim_index("missing"), None);
+        assert!(r.dim(7).is_err());
+    }
+
+    #[test]
+    fn priors_materialize() {
+        let r = two_by_two();
+        assert_eq!(r.prior_values(), vec![0.0; 4]);
+        let r = r.with_prior(Prior::GlobalMean).unwrap();
+        assert_eq!(r.prior_values(), vec![12.5; 4]);
+        let r = r
+            .with_prior(Prior::PerRow(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        assert_eq!(r.prior_values()[2], 3.0);
+    }
+
+    #[test]
+    fn per_row_prior_length_checked() {
+        let r = two_by_two();
+        assert!(r.with_prior(Prior::PerRow(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn invalid_codes_rejected() {
+        let dims = vec![Dimension {
+            name: "d".into(),
+            values: vec![Arc::from("a")],
+        }];
+        let err = EncodedRelation::new(dims, vec![vec![1]], vec![0.0], "t", Prior::Constant(0.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ValueOutOfRange { dim: 0, value: 1 }
+        ));
+    }
+
+    #[test]
+    fn subset_preserves_dictionaries() {
+        let r = two_by_two();
+        let s = r.subset(&[1, 2]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value_str(0, 0), "South");
+        // Codes stay comparable with the parent relation.
+        assert_eq!(s.code(0, 0), r.code(0, 1));
+        assert!(r.subset(&[99]).is_err());
+    }
+
+    #[test]
+    fn from_table_roundtrip() {
+        let schema = Schema::new(vec![
+            Field::required("region", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap();
+        let table = Table::from_rows(
+            schema,
+            vec![
+                vec!["East".into(), 20.0.into()],
+                vec!["South".into(), 10.0.into()],
+            ],
+        )
+        .unwrap();
+        let r = EncodedRelation::from_table(&table, &["region"], "delay", Prior::Constant(0.0))
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value_str(0, 0), "East");
+        assert_eq!(r.target(1), 10.0);
+        assert!(
+            EncodedRelation::from_table(&table, &["region"], "region", Prior::Constant(0.0))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn target_mean_of_empty_is_zero() {
+        let r = EncodedRelation::from_rows(&["d"], "t", Vec::new(), Prior::GlobalMean).unwrap();
+        assert_eq!(r.target_mean(), 0.0);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Speeches: bounded sets of facts (Definition 3).
+
+use std::fmt;
+
+use crate::model::fact::Fact;
+use crate::model::relation::EncodedRelation;
+use crate::model::utility;
+
+/// A speech — the facts selected for voice output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Speech {
+    facts: Vec<Fact>,
+}
+
+impl Speech {
+    /// The empty speech.
+    pub fn empty() -> Speech {
+        Speech { facts: Vec::new() }
+    }
+
+    /// Build a speech from facts, dropping exact duplicates (a speech is a
+    /// *set* of facts).
+    pub fn new(facts: Vec<Fact>) -> Speech {
+        let mut unique: Vec<Fact> = Vec::with_capacity(facts.len());
+        for fact in facts {
+            if !unique
+                .iter()
+                .any(|f| f.scope == fact.scope && f.value == fact.value)
+            {
+                unique.push(fact);
+            }
+        }
+        Speech { facts: unique }
+    }
+
+    /// The facts, in selection order.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Speech length (Definition 3): the number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True for the empty speech.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Accumulated deviation `D(F)` over `relation`.
+    pub fn error(&self, relation: &EncodedRelation) -> f64 {
+        utility::speech_error(relation, &self.facts)
+    }
+
+    /// Utility `U(F)` over `relation`.
+    pub fn utility(&self, relation: &EncodedRelation) -> f64 {
+        utility::utility(relation, &self.facts)
+    }
+
+    /// Utility scaled into `[0, 1]` by the base error (the paper's Fig. 3
+    /// reports "utility (scaled)" per problem instance).
+    pub fn scaled_utility(&self, relation: &EncodedRelation) -> f64 {
+        let base = utility::base_error(relation);
+        if base == 0.0 {
+            1.0
+        } else {
+            self.utility(relation) / base
+        }
+    }
+
+    /// Human-readable rendering with dimension names resolved against
+    /// `relation`.
+    pub fn describe(&self, relation: &EncodedRelation) -> String {
+        if self.facts.is_empty() {
+            return "(empty speech)".to_string();
+        }
+        self.facts
+            .iter()
+            .map(|f| f.describe(relation))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl fmt::Display for Speech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Speech[{} facts]", self.facts.len())
+    }
+}
+
+impl FromIterator<Fact> for Speech {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        Speech::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fact::Scope;
+    use crate::model::relation::Prior;
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["region"],
+            "delay",
+            vec![(vec!["East"], 20.0), (vec!["West"], 0.0)],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deduplicates_facts() {
+        let fact = Fact::new(Scope::all(), 10.0, 2);
+        let speech = Speech::new(vec![fact.clone(), fact.clone()]);
+        assert_eq!(speech.len(), 1);
+    }
+
+    #[test]
+    fn utility_and_error() {
+        let r = relation();
+        let east = Scope::from_pairs(&[(0, 0)]).unwrap();
+        let speech = Speech::new(vec![Fact::new(east, 20.0, 1)]);
+        assert_eq!(speech.error(&r), 0.0);
+        assert_eq!(speech.utility(&r), 20.0);
+        assert_eq!(speech.scaled_utility(&r), 1.0);
+    }
+
+    #[test]
+    fn scaled_utility_of_perfect_prior() {
+        let r = EncodedRelation::from_rows(
+            &["region"],
+            "delay",
+            vec![(vec!["East"], 5.0)],
+            Prior::Constant(5.0),
+        )
+        .unwrap();
+        // Base error 0: any speech is trivially perfect.
+        assert_eq!(Speech::empty().scaled_utility(&r), 1.0);
+    }
+
+    #[test]
+    fn describe_lists_facts() {
+        let r = relation();
+        let speech = Speech::new(vec![Fact::new(Scope::all(), 10.0, 2)]);
+        assert!(speech.describe(&r).contains("overall"));
+        assert_eq!(Speech::empty().describe(&r), "(empty speech)");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let speech: Speech = vec![Fact::new(Scope::all(), 1.0, 1)].into_iter().collect();
+        assert_eq!(speech.len(), 1);
+        assert_eq!(speech.to_string(), "Speech[1 facts]");
+    }
+}

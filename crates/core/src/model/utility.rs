@@ -1,0 +1,325 @@
+//! Deviation, error and utility (Definitions 5 and 6), plus the
+//! incremental residual state used by the algorithms.
+
+use crate::model::expectation::ExpectationModel;
+use crate::model::fact::Fact;
+use crate::model::relation::EncodedRelation;
+
+/// Accumulated deviation `D(∅)` between the prior and the data — the error
+/// before any fact is spoken.
+pub fn base_error(relation: &EncodedRelation) -> f64 {
+    let priors = relation.prior_values();
+    relation
+        .targets()
+        .iter()
+        .zip(&priors)
+        .map(|(&v, &p)| (p - v).abs())
+        .sum()
+}
+
+/// Accumulated deviation `D(F)` of a speech under the paper's
+/// closest-relevant-value expectation model (Definition 5).
+pub fn speech_error(relation: &EncodedRelation, facts: &[Fact]) -> f64 {
+    let priors = relation.prior_values();
+    let mut total = 0.0;
+    for (row, &prior) in priors.iter().enumerate() {
+        let actual = relation.target(row);
+        let mut dev = (prior - actual).abs();
+        for fact in facts {
+            if fact.scope.matches_row(relation, row) {
+                dev = dev.min((fact.value - actual).abs());
+            }
+        }
+        total += dev;
+    }
+    total
+}
+
+/// Accumulated deviation of a speech under an arbitrary expectation model
+/// (used to reproduce Fig. 7).
+pub fn speech_error_under(
+    relation: &EncodedRelation,
+    facts: &[Fact],
+    model: ExpectationModel,
+) -> f64 {
+    let priors = relation.prior_values();
+    let mut total = 0.0;
+    for (row, &prior) in priors.iter().enumerate() {
+        let actual = relation.target(row);
+        let expected = model.expected_value(relation, row, facts, prior, actual);
+        total += (expected - actual).abs();
+    }
+    total
+}
+
+/// Utility `U(F) = D(∅) − D(F)` (Definition 6).
+pub fn utility(relation: &EncodedRelation, facts: &[Fact]) -> f64 {
+    base_error(relation) - speech_error(relation, facts)
+}
+
+/// Per-row residual deviations, maintained incrementally while a speech is
+/// being built.
+///
+/// `residual[r]` is the deviation of row `r` under the facts applied so
+/// far (starting from the prior). The greedy algorithm's Line 11
+/// ("recalculate user expectation") is [`ResidualState::apply_fact`]; its
+/// Line 7 utility computation is [`ResidualState::gain_of`].
+#[derive(Debug, Clone)]
+pub struct ResidualState {
+    residual: Vec<f64>,
+    total: f64,
+}
+
+impl ResidualState {
+    /// Initialize from the relation's prior.
+    pub fn new(relation: &EncodedRelation) -> Self {
+        let priors = relation.prior_values();
+        let residual: Vec<f64> = relation
+            .targets()
+            .iter()
+            .zip(&priors)
+            .map(|(&v, &p)| (p - v).abs())
+            .collect();
+        let total = residual.iter().sum();
+        ResidualState { residual, total }
+    }
+
+    /// Current residual of one row.
+    #[inline]
+    pub fn residual(&self, row: usize) -> f64 {
+        self.residual[row]
+    }
+
+    /// All residuals.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residual
+    }
+
+    /// Current accumulated deviation `D(F)`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Utility gain of adding `fact` to the current speech, without
+    /// modifying state: `Σ_r max(0, residual_r − |fact.value − v_r|)` over
+    /// the rows within scope.
+    pub fn gain_of(&self, relation: &EncodedRelation, fact: &Fact) -> f64 {
+        let mut gain = 0.0;
+        for row in 0..relation.len() {
+            if fact.scope.matches_row(relation, row) {
+                let dev = (fact.value - relation.target(row)).abs();
+                let improvement = self.residual[row] - dev;
+                if improvement > 0.0 {
+                    gain += improvement;
+                }
+            }
+        }
+        gain
+    }
+
+    /// Apply `fact`: residuals of covered rows drop to
+    /// `min(residual, |fact.value − v_r|)`. Returns the realized gain and
+    /// an undo log of `(row, previous residual)` entries for backtracking
+    /// search.
+    pub fn apply_fact(
+        &mut self,
+        relation: &EncodedRelation,
+        fact: &Fact,
+    ) -> (f64, Vec<(usize, f64)>) {
+        let mut gain = 0.0;
+        let mut undo = Vec::new();
+        for row in 0..relation.len() {
+            if fact.scope.matches_row(relation, row) {
+                let dev = (fact.value - relation.target(row)).abs();
+                if dev < self.residual[row] {
+                    undo.push((row, self.residual[row]));
+                    gain += self.residual[row] - dev;
+                    self.residual[row] = dev;
+                }
+            }
+        }
+        self.total -= gain;
+        (gain, undo)
+    }
+
+    /// Reverse a previous [`ResidualState::apply_fact`].
+    pub fn revert(&mut self, undo: &[(usize, f64)]) {
+        for &(row, previous) in undo {
+            self.total += previous - self.residual[row];
+            self.residual[row] = previous;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fact::Scope;
+    use crate::model::relation::Prior;
+
+    /// The canonical Fig. 1 grid (see DESIGN.md).
+    fn fig1() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["season", "region"],
+            "delay",
+            vec![
+                (vec!["Spring", "East"], 0.0),
+                (vec!["Spring", "South"], 0.0),
+                (vec!["Spring", "West"], 0.0),
+                (vec!["Spring", "North"], 20.0),
+                (vec!["Summer", "East"], 0.0),
+                (vec!["Summer", "South"], 20.0),
+                (vec!["Summer", "West"], 0.0),
+                (vec!["Summer", "North"], 10.0),
+                (vec!["Fall", "East"], 0.0),
+                (vec!["Fall", "South"], 0.0),
+                (vec!["Fall", "West"], 0.0),
+                (vec!["Fall", "North"], 10.0),
+                (vec!["Winter", "East"], 20.0),
+                (vec!["Winter", "South"], 10.0),
+                (vec!["Winter", "West"], 10.0),
+                (vec!["Winter", "North"], 20.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    fn scope(r: &EncodedRelation, pairs: &[(&str, &str)]) -> Scope {
+        let encoded: Vec<(usize, u32)> = pairs
+            .iter()
+            .map(|&(dim, value)| {
+                let d = r.dim_index(dim).unwrap();
+                (d, r.dims()[d].code_of(value).unwrap())
+            })
+            .collect();
+        Scope::from_pairs(&encoded).unwrap()
+    }
+
+    #[test]
+    fn example4_base_error_is_120() {
+        assert_eq!(base_error(&fig1()), 120.0);
+    }
+
+    #[test]
+    fn example4_speech1_error_80_utility_40() {
+        let r = fig1();
+        let speech1 = vec![
+            Fact::new(
+                scope(&r, &[("season", "Summer"), ("region", "South")]),
+                20.0,
+                1,
+            ),
+            Fact::new(
+                scope(&r, &[("season", "Winter"), ("region", "East")]),
+                20.0,
+                1,
+            ),
+        ];
+        assert_eq!(speech_error(&r, &speech1), 80.0);
+        assert_eq!(utility(&r, &speech1), 40.0);
+    }
+
+    #[test]
+    fn speech2_dominates_speech1() {
+        // The paper's Example 4 states error 35 for Speech 2; with the grid
+        // consistent with Examples 2/6/7/8 the exact error is 55 (see
+        // DESIGN.md), but Speech 2 still dominates Speech 1 (utility 65 > 40).
+        let r = fig1();
+        let speech2 = vec![
+            Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4),
+            Fact::new(scope(&r, &[("region", "North")]), 15.0, 4),
+        ];
+        assert_eq!(speech_error(&r, &speech2), 55.0);
+        assert_eq!(utility(&r, &speech2), 65.0);
+    }
+
+    #[test]
+    fn single_fact_utilities_from_examples() {
+        let r = fig1();
+        // Example 6/7: Winter fact utility 40, Summer∧South utility 20.
+        let winter = Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4);
+        assert_eq!(utility(&r, &[winter]), 40.0);
+        let north = Fact::new(scope(&r, &[("region", "North")]), 15.0, 4);
+        assert_eq!(utility(&r, &[north]), 40.0);
+        let summer_south = Fact::new(
+            scope(&r, &[("season", "Summer"), ("region", "South")]),
+            20.0,
+            1,
+        );
+        assert_eq!(utility(&r, &[summer_south]), 20.0);
+    }
+
+    #[test]
+    fn residual_state_matches_direct_computation() {
+        let r = fig1();
+        let winter = Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4);
+        let north = Fact::new(scope(&r, &[("region", "North")]), 15.0, 4);
+        let mut state = ResidualState::new(&r);
+        assert_eq!(state.total(), 120.0);
+
+        // Example 7: gains 40 then 25.
+        assert_eq!(state.gain_of(&r, &winter), 40.0);
+        let (gain, _) = state.apply_fact(&r, &winter);
+        assert_eq!(gain, 40.0);
+        assert_eq!(state.gain_of(&r, &north), 25.0);
+        let (gain, _) = state.apply_fact(&r, &north);
+        assert_eq!(gain, 25.0);
+        assert_eq!(state.total(), speech_error(&r, &[winter, north]));
+    }
+
+    #[test]
+    fn revert_restores_state() {
+        let r = fig1();
+        let winter = Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4);
+        let mut state = ResidualState::new(&r);
+        let before: Vec<f64> = state.residuals().to_vec();
+        let (_, undo) = state.apply_fact(&r, &winter);
+        assert_ne!(state.residuals(), before.as_slice());
+        state.revert(&undo);
+        assert_eq!(state.residuals(), before.as_slice());
+        assert_eq!(state.total(), 120.0);
+    }
+
+    #[test]
+    fn utility_is_monotone_and_submodular_on_fig1() {
+        // Spot check of Theorem 1 on the running example: adding a fact to
+        // a subset helps at least as much as adding it to a superset.
+        let r = fig1();
+        let winter = Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4);
+        let north = Fact::new(scope(&r, &[("region", "North")]), 15.0, 4);
+        let summer_south = Fact::new(
+            scope(&r, &[("season", "Summer"), ("region", "South")]),
+            20.0,
+            1,
+        );
+
+        let small = vec![winter.clone()];
+        let large = vec![winter.clone(), north.clone()];
+        let gain_small = utility(&r, &[winter.clone(), summer_south.clone()]) - utility(&r, &small);
+        let gain_large = utility(&r, &[winter.clone(), north.clone(), summer_south.clone()])
+            - utility(&r, &large);
+        assert!(gain_small >= gain_large);
+        // Monotonicity.
+        assert!(utility(&r, &large) >= utility(&r, &small));
+    }
+
+    #[test]
+    fn error_under_closest_matches_speech_error() {
+        let r = fig1();
+        let facts = vec![
+            Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4),
+            Fact::new(scope(&r, &[("region", "North")]), 15.0, 4),
+        ];
+        assert_eq!(
+            speech_error_under(&r, &facts, ExpectationModel::ClosestRelevant),
+            speech_error(&r, &facts)
+        );
+        // The adversarial model can only do worse.
+        assert!(
+            speech_error_under(&r, &facts, ExpectationModel::FarthestRelevant)
+                >= speech_error(&r, &facts)
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # vqs-data — evaluation data sets for the VQS reproduction
+//!
+//! The paper's four public data sets (Table I) are unavailable offline;
+//! this crate replaces them with seeded synthetic generators matched to
+//! the properties the algorithms depend on — dimension/target counts,
+//! per-dimension cardinalities (and thereby candidate-fact counts),
+//! categorical skew and dimension-driven target structure. It also ships
+//! the paper's running example (Fig. 1) as an exactly reconstructed grid.
+//!
+//! ```
+//! use vqs_data::{running_example, scenarios};
+//!
+//! let fig1 = running_example::relation();
+//! assert_eq!(vqs_core::prelude::base_error(&fig1), 120.0);
+//!
+//! let flights = scenarios::flights_spec().generate(scenarios::DEFAULT_SEED, 0.01);
+//! assert_eq!(flights.dims.len(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod running_example;
+pub mod scenarios;
+pub mod synth;
+
+pub use scenarios::{
+    acs_spec, all_specs, by_letter, flights_spec, nominal_fact_count, primaries_spec,
+    stackoverflow_spec, DEFAULT_SEED, FIG3_SCENARIOS,
+};
+pub use synth::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};

@@ -1,0 +1,77 @@
+//! Engine error type.
+
+use std::fmt;
+
+use crate::config::ConfigError;
+
+/// Errors raised by the end-to-end engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Configuration problem.
+    Config(ConfigError),
+    /// Error from the summarization core.
+    Core(vqs_core::error::CoreError),
+    /// Error from the relational engine.
+    Relational(vqs_relalg::error::RelalgError),
+    /// A configured column is missing from the data set.
+    MissingColumn {
+        /// The column name.
+        column: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "configuration: {e}"),
+            EngineError::Core(e) => write!(f, "summarization: {e}"),
+            EngineError::Relational(e) => write!(f, "relational: {e}"),
+            EngineError::MissingColumn { column } => {
+                write!(
+                    f,
+                    "configured column '{column}' not present in the data set"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<vqs_core::error::CoreError> for EngineError {
+    fn from(e: vqs_core::error::CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<vqs_relalg::error::RelalgError> for EngineError {
+    fn from(e: vqs_relalg::error::RelalgError) -> Self {
+        EngineError::Relational(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = ConfigError::Invalid { detail: "x".into() }.into();
+        assert!(e.to_string().contains("configuration"));
+        let e: EngineError = vqs_relalg::error::RelalgError::DivisionByZero.into();
+        assert!(e.to_string().contains("relational"));
+        let e = EngineError::MissingColumn {
+            column: "delay".into(),
+        };
+        assert!(e.to_string().contains("delay"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Extension: extremum and comparison queries.
+//!
+//! §VIII-D's deployment analysis found that about a third of data-access
+//! requests were *unsupported*: "queries asking for maxima or for
+//! relative comparisons between two data subsets (e.g., 'make a
+//! comparison between job satisfaction between men and women')". The
+//! paper leaves these to future work; this module implements them on top
+//! of the same pre-processing philosophy — everything needed to answer is
+//! computed offline, so run-time cost stays a lookup.
+//!
+//! * **Extremum queries** ("which airline has the most cancellations"):
+//!   answered from a per-(target, dimension) index of group averages.
+//! * **Comparison queries** ("compare cancellations between Winter and
+//!   Summer"): answered by pairing two entries of the same index and
+//!   phrasing the relative difference.
+
+use vqs_core::prelude::EncodedRelation;
+use vqs_relalg::hash::FxHashMap;
+
+use crate::template::format_value;
+
+/// Average target value of one dimension value's subset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAverage {
+    /// The dimension value.
+    pub value: String,
+    /// Average target value over its rows.
+    pub average: f64,
+    /// Number of rows.
+    pub support: usize,
+}
+
+/// Pre-computed per-dimension group averages for one target column.
+#[derive(Debug, Clone, Default)]
+pub struct ExtremumIndex {
+    /// dimension name → averages per value, sorted descending by average.
+    groups: FxHashMap<String, Vec<GroupAverage>>,
+    target_phrase: String,
+}
+
+impl ExtremumIndex {
+    /// Build the index from a relation in one pass per dimension (part of
+    /// the pre-processing batch; the §VIII-E amortization argument applies
+    /// unchanged).
+    pub fn build(relation: &EncodedRelation, target_phrase: &str) -> ExtremumIndex {
+        let mut groups = FxHashMap::default();
+        for d in 0..relation.dim_count() {
+            let dim = &relation.dims()[d];
+            let mut sums = vec![0.0f64; dim.cardinality()];
+            let mut counts = vec![0usize; dim.cardinality()];
+            for row in 0..relation.len() {
+                let code = relation.code(d, row) as usize;
+                sums[code] += relation.target(row);
+                counts[code] += 1;
+            }
+            let mut averages: Vec<GroupAverage> = dim
+                .values
+                .iter()
+                .enumerate()
+                .filter(|&(code, _)| counts[code] > 0)
+                .map(|(code, value)| GroupAverage {
+                    value: value.to_string(),
+                    average: sums[code] / counts[code] as f64,
+                    support: counts[code],
+                })
+                .collect();
+            averages.sort_by(|a, b| b.average.total_cmp(&a.average));
+            groups.insert(dim.name.clone(), averages);
+        }
+        ExtremumIndex {
+            groups,
+            target_phrase: target_phrase.to_string(),
+        }
+    }
+
+    /// Dimensions covered by the index.
+    pub fn dimensions(&self) -> impl Iterator<Item = &str> {
+        self.groups.keys().map(String::as_str)
+    }
+
+    /// Group averages for one dimension (descending by average).
+    pub fn averages(&self, dimension: &str) -> Option<&[GroupAverage]> {
+        self.groups.get(dimension).map(Vec::as_slice)
+    }
+
+    /// Answer an extremum question over `dimension`: the highest and
+    /// lowest group, phrased for voice output.
+    pub fn answer_extremum(&self, dimension: &str, highest: bool) -> Option<String> {
+        let averages = self.groups.get(dimension)?;
+        let (first, last) = (averages.first()?, averages.last()?);
+        let (focus, other) = if highest {
+            (first, last)
+        } else {
+            (last, first)
+        };
+        let spoken_dim = dimension.replace('_', " ");
+        Some(format!(
+            "Among {spoken_dim} groups, {} has the {} {} at about {}; {} has the {} at about {}.",
+            focus.value,
+            if highest { "highest" } else { "lowest" },
+            self.target_phrase,
+            format_value(focus.average),
+            other.value,
+            if highest { "lowest" } else { "highest" },
+            format_value(other.average),
+        ))
+    }
+
+    /// Answer a comparison between two values of the same dimension.
+    pub fn answer_comparison(&self, dimension: &str, a: &str, b: &str) -> Option<String> {
+        let averages = self.groups.get(dimension)?;
+        let find = |value: &str| averages.iter().find(|g| g.value == value);
+        let (ga, gb) = (find(a)?, find(b)?);
+        let relation = if (ga.average - gb.average).abs() < 1e-9 {
+            format!("about the same {} as", self.target_phrase)
+        } else if ga.average > gb.average {
+            describe_factor(ga.average, gb.average, &self.target_phrase)
+        } else {
+            format!("lower {} than", self.target_phrase)
+        };
+        Some(format!(
+            "{} has {relation} {}: about {} versus {}.",
+            ga.value,
+            gb.value,
+            format_value(ga.average),
+            format_value(gb.average),
+        ))
+    }
+
+    /// Find the dimension owning a value (for comparison extraction).
+    pub fn dimension_of_value(&self, value: &str) -> Option<(&str, &GroupAverage)> {
+        for (dim, averages) in &self.groups {
+            if let Some(g) = averages
+                .iter()
+                .find(|g| g.value.eq_ignore_ascii_case(value))
+            {
+                return Some((dim.as_str(), g));
+            }
+        }
+        None
+    }
+
+    /// Try to answer a raw comparison utterance by finding two known
+    /// values of the same dimension in the text.
+    pub fn answer_comparison_text(&self, text: &str) -> Option<String> {
+        let lower = text.to_lowercase();
+        for (dim, averages) in &self.groups {
+            let mut found: Vec<&GroupAverage> = Vec::new();
+            for group in averages {
+                if lower.contains(&group.value.to_lowercase()) {
+                    found.push(group);
+                    if found.len() == 2 {
+                        return self.answer_comparison(dim, &found[0].value, &found[1].value);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Try to answer a raw extremum utterance: detect polarity and a
+    /// mentioned dimension name.
+    pub fn answer_extremum_text(&self, text: &str) -> Option<String> {
+        let lower = text.to_lowercase();
+        let highest = ["most", "highest", "max", "maximum", "worst"]
+            .iter()
+            .any(|cue| lower.contains(cue));
+        let lowest = ["least", "lowest", "min", "minimum", "best"]
+            .iter()
+            .any(|cue| lower.contains(cue));
+        if !highest && !lowest {
+            return None;
+        }
+        for dim in self.groups.keys() {
+            let spoken = dim.replace('_', " ").to_lowercase();
+            if lower.contains(&spoken) {
+                return self.answer_extremum(dim, highest || !lowest);
+            }
+        }
+        None
+    }
+}
+
+fn describe_factor(higher: f64, lower: f64, target: &str) -> String {
+    if lower > 0.0 {
+        let factor = higher / lower;
+        if factor >= 1.5 {
+            return format!("about {} times the {target} of", format_value(factor));
+        }
+    }
+    format!("higher {target} than")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqs_core::prelude::Prior;
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["airline", "season"],
+            "cancelled",
+            vec![
+                (vec!["Delta", "Winter"], 60.0),
+                (vec!["Delta", "Summer"], 40.0),
+                (vec!["United", "Winter"], 30.0),
+                (vec!["United", "Summer"], 10.0),
+                (vec!["Alaska", "Winter"], 10.0),
+                (vec!["Alaska", "Summer"], 10.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    fn index() -> ExtremumIndex {
+        ExtremumIndex::build(&relation(), "cancellation probability")
+    }
+
+    #[test]
+    fn averages_sorted_descending() {
+        let index = index();
+        let airlines = index.averages("airline").unwrap();
+        let values: Vec<&str> = airlines.iter().map(|g| g.value.as_str()).collect();
+        assert_eq!(values, vec!["Delta", "United", "Alaska"]);
+        assert_eq!(airlines[0].average, 50.0);
+        assert_eq!(airlines[2].average, 10.0);
+        assert_eq!(airlines[0].support, 2);
+    }
+
+    #[test]
+    fn extremum_answers_both_polarities() {
+        let index = index();
+        let highest = index.answer_extremum("airline", true).unwrap();
+        assert!(highest.contains("Delta has the highest"));
+        assert!(highest.contains("Alaska has the lowest"));
+        let lowest = index.answer_extremum("airline", false).unwrap();
+        assert!(lowest.contains("Alaska has the lowest"));
+        assert!(index.answer_extremum("unknown_dim", true).is_none());
+    }
+
+    #[test]
+    fn comparison_phrases_relative_difference() {
+        let index = index();
+        let text = index
+            .answer_comparison("airline", "Delta", "Alaska")
+            .unwrap();
+        // 50 / 10 = 5x.
+        assert!(text.contains("5 times"), "{text}");
+        assert!(text.contains("50") && text.contains("10"));
+        let text = index
+            .answer_comparison("airline", "Alaska", "Delta")
+            .unwrap();
+        assert!(text.contains("lower"));
+        assert!(index
+            .answer_comparison("airline", "Delta", "Nonexistent")
+            .is_none());
+    }
+
+    #[test]
+    fn text_extraction_for_comparisons() {
+        let index = index();
+        let text = index
+            .answer_comparison_text("compare cancellations between Delta and United")
+            .unwrap();
+        assert!(text.contains("Delta"));
+        assert!(text.contains("United"));
+        // One value only: no answer.
+        assert!(index
+            .answer_comparison_text("compare Delta with something")
+            .is_none());
+    }
+
+    #[test]
+    fn text_extraction_for_extrema() {
+        let index = index();
+        let text = index
+            .answer_extremum_text("which airline has the most cancellations")
+            .unwrap();
+        assert!(text.contains("Delta has the highest"));
+        let text = index
+            .answer_extremum_text("which season is best for avoiding cancellations")
+            .unwrap();
+        assert!(text.contains("lowest"));
+        assert!(index.answer_extremum_text("tell me a joke").is_none());
+    }
+
+    #[test]
+    fn dimension_of_value_lookup() {
+        let index = index();
+        let (dim, group) = index.dimension_of_value("winter").unwrap();
+        assert_eq!(dim, "season");
+        assert!(group.average > 0.0);
+        assert!(index.dimension_of_value("mars").is_none());
+    }
+}

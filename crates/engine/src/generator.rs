@@ -1,0 +1,414 @@
+//! The Problem Generator and batch pre-processing stage (§III).
+//!
+//! "The Problem Generator creates one query for each combination of a
+//! target column and a subset of equality predicates, considering all
+//! possible combinations of equality predicates up to the query length.
+//! For each such query, we generate a speech summarizing values in the
+//! target column for the data subset defined by the query predicates."
+//!
+//! Pre-processing is embarrassingly parallel across queries; the batch
+//! runner fans work items out over crossbeam scoped threads.
+
+use std::time::{Duration, Instant};
+
+use vqs_core::prelude::*;
+use vqs_data::GeneratedDataset;
+use vqs_relalg::hash::FxHashMap;
+
+use crate::config::Configuration;
+use crate::error::{EngineError, Result};
+use crate::problem::{NamedFact, Query, StoredSpeech};
+use crate::store::SpeechStore;
+use crate::template::SpeechTemplate;
+
+/// One pre-processing work item: a query and the rows of its data subset.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// The query to answer.
+    pub query: Query,
+    /// Row indexes of the subset within the target's relation.
+    pub rows: Vec<usize>,
+}
+
+/// Batch pre-processing options.
+#[derive(Debug, Clone)]
+pub struct PreprocessOptions {
+    /// Worker threads (default: available parallelism).
+    pub workers: usize,
+    /// Per-target speech templates; targets without an entry use
+    /// [`SpeechTemplate::plain`].
+    pub templates: FxHashMap<String, SpeechTemplate>,
+}
+
+impl Default for PreprocessOptions {
+    fn default() -> Self {
+        PreprocessOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            templates: FxHashMap::default(),
+        }
+    }
+}
+
+/// Aggregate report of one pre-processing run (feeds Fig. 10's
+/// per-query pre-processing time).
+#[derive(Debug, Clone)]
+pub struct PreprocessReport {
+    /// Queries generated (= speeches attempted).
+    pub queries: usize,
+    /// Speeches stored.
+    pub speeches: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+    /// Summed work counters across all problems.
+    pub instrumentation: Instrumentation,
+}
+
+impl PreprocessReport {
+    /// Average pre-processing time per query.
+    pub fn per_query(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.queries as u32
+        }
+    }
+}
+
+/// Build the per-target relation with the paper's prior: "the average
+/// value in the target column as a (constant) prior" — the *global*
+/// average, kept constant across subsets.
+pub fn target_relation(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    target: &str,
+) -> Result<EncodedRelation> {
+    for dim in &config.dimensions {
+        if dataset.table.schema().index_of(dim).is_err() {
+            return Err(EngineError::MissingColumn {
+                column: dim.clone(),
+            });
+        }
+    }
+    if dataset.table.schema().index_of(target).is_err() {
+        return Err(EngineError::MissingColumn {
+            column: target.to_string(),
+        });
+    }
+    let dims: Vec<&str> = config.dimensions.iter().map(String::as_str).collect();
+    let relation =
+        EncodedRelation::from_table(&dataset.table, &dims, target, Prior::Constant(0.0))?;
+    let mean = relation.target_mean();
+    Ok(relation.with_prior(Prior::Constant(mean))?)
+}
+
+/// Enumerate every query for one target: all predicate-dimension subsets
+/// up to the configured length, with every value combination appearing in
+/// the data (§III).
+pub fn enumerate_queries(
+    relation: &EncodedRelation,
+    config: &Configuration,
+    target: &str,
+) -> Vec<WorkItem> {
+    let dim_count = relation.dim_count();
+    let mut items = Vec::new();
+    for mask in 0u32..(1 << dim_count) {
+        let size = mask.count_ones() as usize;
+        if size > config.max_query_length {
+            continue;
+        }
+        let dims: Vec<usize> = (0..dim_count).filter(|&d| mask & (1 << d) != 0).collect();
+        // Partition rows by value combination on `dims`.
+        let mut combos: FxHashMap<Vec<u32>, Vec<usize>> = FxHashMap::default();
+        for row in 0..relation.len() {
+            let key: Vec<u32> = dims.iter().map(|&d| relation.code(d, row)).collect();
+            combos.entry(key).or_default().push(row);
+        }
+        let mut sorted: Vec<(Vec<u32>, Vec<usize>)> = combos.into_iter().collect();
+        sorted.sort(); // deterministic order
+        for (combo, rows) in sorted {
+            let predicates: Vec<(String, String)> = dims
+                .iter()
+                .zip(&combo)
+                .map(|(&d, &code)| {
+                    let dim = &relation.dims()[d];
+                    (dim.name.clone(), dim.values[code as usize].to_string())
+                })
+                .collect();
+            items.push(WorkItem {
+                query: Query::new(target.to_string(), predicates),
+                rows,
+            });
+        }
+    }
+    items
+}
+
+/// Solve one work item into a stored speech.
+pub fn solve_item<S: Summarizer + ?Sized>(
+    relation: &EncodedRelation,
+    config: &Configuration,
+    summarizer: &S,
+    template: &SpeechTemplate,
+    item: &WorkItem,
+) -> Result<(StoredSpeech, Instrumentation)> {
+    let subset = relation.subset(&item.rows)?;
+    // Dimensions not fixed by the query remain free for fact scopes.
+    let fixed: Vec<&String> = item.query.predicates().iter().map(|(d, _)| d).collect();
+    let free_dims: Vec<usize> = (0..subset.dim_count())
+        .filter(|&d| !fixed.iter().any(|f| **f == subset.dims()[d].name))
+        .collect();
+    let min_dims = usize::from(!config.include_overall_fact && !free_dims.is_empty());
+    let max_dims = config.max_fact_dimensions.min(free_dims.len());
+    let catalog = FactCatalog::build_with_scope_sizes(&subset, &free_dims, min_dims, max_dims)?;
+    let problem = Problem::new(&subset, &catalog, config.speech_length)?;
+    let summary = summarizer.summarize(&problem)?;
+
+    let facts: Vec<NamedFact> = summary
+        .speech
+        .facts()
+        .iter()
+        .map(|fact| NamedFact {
+            scope: fact
+                .scope
+                .pairs()
+                .into_iter()
+                .map(|(d, code)| {
+                    let dim = &subset.dims()[d];
+                    (dim.name.clone(), dim.values[code as usize].to_string())
+                })
+                .collect(),
+            value: fact.value,
+            support: fact.support,
+        })
+        .collect();
+    let text = template.render(&item.query, &facts);
+    Ok((
+        StoredSpeech {
+            query: item.query.clone(),
+            facts,
+            text,
+            utility: summary.utility,
+            base_error: summary.base_error,
+            rows: item.rows.len(),
+        },
+        summary.instrumentation,
+    ))
+}
+
+/// Run the full pre-processing batch: every target, every query, in
+/// parallel. Returns the populated speech store and a report.
+pub fn preprocess<S: Summarizer + Sync + ?Sized>(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    summarizer: &S,
+    options: &PreprocessOptions,
+) -> Result<(SpeechStore, PreprocessReport)> {
+    config.validate()?;
+    let start = Instant::now();
+    let store = SpeechStore::new();
+    let mut total_queries = 0usize;
+    let mut instrumentation = Instrumentation::default();
+
+    for target in &config.targets {
+        let relation = target_relation(dataset, config, target)?;
+        let items = enumerate_queries(&relation, config, target);
+        total_queries += items.len();
+        let template = options
+            .templates
+            .get(target)
+            .cloned()
+            .unwrap_or_else(|| SpeechTemplate::plain(target));
+
+        let workers = options.workers.max(1).min(items.len().max(1));
+        let chunk_size = items.len().div_ceil(workers);
+        let results: Vec<Result<Vec<(StoredSpeech, Instrumentation)>>> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in items.chunks(chunk_size.max(1)) {
+                    let relation = &relation;
+                    let template = &template;
+                    handles.push(scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|item| solve_item(relation, config, summarizer, template, item))
+                            .collect::<Result<Vec<_>>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+
+        for worker_result in results {
+            for (speech, counters) in worker_result? {
+                instrumentation.merge(&counters);
+                store.insert(speech);
+            }
+        }
+    }
+
+    let speeches = store.len();
+    Ok((
+        store,
+        PreprocessReport {
+            queries: total_queries,
+            speeches,
+            elapsed: start.elapsed(),
+            instrumentation,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+
+    fn tiny_dataset() -> GeneratedDataset {
+        SynthSpec {
+            name: "tiny".to_string(),
+            dims: vec![
+                DimSpec::named("season", &["Winter", "Summer"]),
+                DimSpec::named("region", &["East", "West", "North"]),
+            ],
+            targets: vec![
+                TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0)),
+                TargetSpec::new("cancelled", 30.0, 10.0, 4.0, (0.0, 1000.0)),
+            ],
+            rows: 300,
+        }
+        .generate(11, 1.0)
+    }
+
+    fn config() -> Configuration {
+        Configuration::new("tiny", &["season", "region"], &["delay", "cancelled"])
+    }
+
+    #[test]
+    fn enumerates_all_present_combinations() {
+        let data = tiny_dataset();
+        let relation = target_relation(&data, &config(), "delay").unwrap();
+        let items = enumerate_queries(&relation, &config(), "delay");
+        // 1 empty + 2 seasons + 3 regions + 6 pairs = 12 (all combos occur
+        // in 300 rows with overwhelming probability).
+        assert_eq!(items.len(), 12);
+        // Every subset is consistent with its predicates.
+        for item in &items {
+            assert!(!item.rows.is_empty());
+            for (d, v) in item.query.predicates() {
+                let dim = relation.dim_index(d).unwrap();
+                for &row in &item.rows {
+                    assert_eq!(relation.value_str(dim, row), v.as_str());
+                }
+            }
+        }
+        // Subsets of the same dimension set partition the rows.
+        let season_rows: usize = items
+            .iter()
+            .filter(|i| i.query.len() == 1 && i.query.predicates()[0].0 == "season")
+            .map(|i| i.rows.len())
+            .sum();
+        assert_eq!(season_rows, relation.len());
+    }
+
+    #[test]
+    fn query_length_limit_respected() {
+        let data = tiny_dataset();
+        let mut cfg = config();
+        cfg.max_query_length = 1;
+        let relation = target_relation(&data, &cfg, "delay").unwrap();
+        let items = enumerate_queries(&relation, &cfg, "delay");
+        assert!(items.iter().all(|i| i.query.len() <= 1));
+        assert_eq!(items.len(), 6);
+    }
+
+    #[test]
+    fn preprocess_fills_store() {
+        let data = tiny_dataset();
+        let cfg = config();
+        let summarizer = GreedySummarizer::with_optimized_pruning();
+        let (store, report) =
+            preprocess(&data, &cfg, &summarizer, &PreprocessOptions::default()).unwrap();
+        // Two targets × 12 queries.
+        assert_eq!(report.queries, 24);
+        assert_eq!(report.speeches, 24);
+        assert_eq!(store.len(), 24);
+        assert!(report.per_query() > Duration::ZERO);
+        // Every stored speech has at most speech_length facts and text.
+        for query in store.queries() {
+            let speech = store.get(&query).unwrap();
+            assert!(speech.facts.len() <= cfg.speech_length);
+            assert!(!speech.text.is_empty());
+            assert!(speech.utility >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let data = tiny_dataset();
+        let cfg = config();
+        let summarizer = GreedySummarizer::base();
+        let serial = PreprocessOptions {
+            workers: 1,
+            ..Default::default()
+        };
+        let parallel = PreprocessOptions {
+            workers: 8,
+            ..Default::default()
+        };
+        let (s1, _) = preprocess(&data, &cfg, &summarizer, &serial).unwrap();
+        let (s2, _) = preprocess(&data, &cfg, &summarizer, &parallel).unwrap();
+        assert_eq!(s1.len(), s2.len());
+        for query in s1.queries() {
+            let a = s1.get(&query).unwrap();
+            let b = s2.get(&query).unwrap();
+            assert!((a.utility - b.utility).abs() < 1e-9, "{query}");
+        }
+    }
+
+    #[test]
+    fn missing_columns_reported() {
+        let data = tiny_dataset();
+        let bad = Configuration::new("tiny", &["season", "nonexistent"], &["delay"]);
+        let err = preprocess(
+            &data,
+            &bad,
+            &GreedySummarizer::base(),
+            &PreprocessOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::MissingColumn { .. }));
+    }
+
+    #[test]
+    fn full_length_queries_get_overall_fact_only_when_no_free_dims() {
+        let data = tiny_dataset();
+        let mut cfg = config();
+        cfg.max_query_length = 2; // queries can fix both dimensions
+        cfg.include_overall_fact = false;
+        let (store, _) = preprocess(
+            &data,
+            &cfg,
+            &GreedySummarizer::base(),
+            &PreprocessOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // A query fixing both dims has no free dimensions; its only
+        // candidate fact is the subset average.
+        let q = store
+            .queries()
+            .into_iter()
+            .find(|q| q.len() == 2 && q.target() == "delay")
+            .unwrap();
+        let speech = store.get(&q).unwrap();
+        assert_eq!(speech.facts.len(), 1);
+        assert!(speech.facts[0].scope.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! # vqs-engine — the end-to-end voice query system (Fig. 2)
+//!
+//! Pre-processing side: a [`config::Configuration`] describes the queries
+//! to support; the [`generator`] enumerates one speech-summarization
+//! problem per (target, predicate-combination) and solves them in a
+//! parallel batch, filling the [`store::SpeechStore`]. Run-time side: the
+//! [`nlq::Extractor`] maps request text to queries, the store serves the
+//! most specific pre-generated speech, and [`voice::VoiceSession`] wraps
+//! the loop with help/repeat handling and latency accounting.
+//! [`logsim`] replays the §VIII-D public-deployment workload.
+//!
+//! ```
+//! use vqs_engine::prelude::*;
+//! use vqs_core::prelude::GreedySummarizer;
+//! use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+//!
+//! let data = SynthSpec {
+//!     name: "demo".into(),
+//!     dims: vec![DimSpec::named("season", &["Winter", "Summer"])],
+//!     targets: vec![TargetSpec::new("delay", 15.0, 6.0, 2.0, (0.0, 60.0))],
+//!     rows: 200,
+//! }.generate(1, 1.0);
+//!
+//! let config = Configuration::new("demo", &["season"], &["delay"]);
+//! let (store, report) = preprocess(
+//!     &data, &config, &GreedySummarizer::with_optimized_pruning(),
+//!     &PreprocessOptions::default(),
+//! ).unwrap();
+//! assert_eq!(report.speeches, 3); // overall + two seasons
+//! let answer = store.lookup(&Query::of("delay", &[("season", "Winter")]));
+//! assert!(answer.speech().is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod extensions;
+pub mod generator;
+pub mod logsim;
+pub mod nlq;
+pub mod problem;
+pub mod store;
+pub mod template;
+pub mod voice;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::config::{ConfigError, Configuration};
+    pub use crate::error::{EngineError, Result};
+    pub use crate::extensions::{ExtremumIndex, GroupAverage};
+    pub use crate::generator::{
+        enumerate_queries, preprocess, solve_item, target_relation, PreprocessOptions,
+        PreprocessReport, WorkItem,
+    };
+    pub use crate::logsim::{
+        complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,
+        FIG9_TYPES, TABLE3,
+    };
+    pub use crate::nlq::{Extractor, Request, Unsupported};
+    pub use crate::problem::{NamedFact, Query, StoredSpeech};
+    pub use crate::store::{Lookup, SpeechStore};
+    pub use crate::template::{format_value, speaking_time_secs, SpeechTemplate, ValueStyle};
+    pub use crate::voice::{VoiceResponse, VoiceSession};
+}

@@ -1,0 +1,328 @@
+//! Text-to-query extraction and request classification.
+//!
+//! §III: "To map text to queries, we train an extractor with a few
+//! samples to extract names of target column and predicates on other
+//! columns … from input text (this functionality is provided by the
+//! Google Assistant framework)." Offline, the extractor is a dictionary
+//! matcher: target columns are recognized through configured synonym
+//! samples, predicates through the value dictionaries of the dimension
+//! columns. Incoming requests are classified into the §VIII-D categories
+//! (help / repeat / supported / unsupported / other) for Table III and
+//! Fig. 9.
+
+use vqs_core::prelude::EncodedRelation;
+use vqs_relalg::hash::FxHashMap;
+
+use crate::problem::Query;
+
+/// Why a data-access request is unsupported (the §VIII-D examples:
+/// extrema, relative comparisons, unavailable data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsupported {
+    /// Asks for a maximum/minimum ("which airline has the most delays").
+    Extremum,
+    /// Asks for a relative comparison ("compare job satisfaction between
+    /// men and women").
+    Comparison,
+    /// References data the deployment does not cover.
+    UnavailableData,
+}
+
+/// Classified voice request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Asking how to use the system.
+    Help,
+    /// Asking to repeat the last output.
+    Repeat,
+    /// A supported data-access query.
+    Query(Query),
+    /// A recognized but unsupported data-access request.
+    Unsupported(Unsupported),
+    /// Anything else.
+    Other,
+}
+
+impl Request {
+    /// Table III row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Help => "Help",
+            Request::Repeat => "Repeat",
+            Request::Query(_) => "S-Query",
+            Request::Unsupported(_) => "U-Query",
+            Request::Other => "Other",
+        }
+    }
+}
+
+/// Dictionary-based extractor for one deployment.
+#[derive(Debug, Clone)]
+pub struct Extractor {
+    /// Lowercased value → (dimension, original value), longest first.
+    values: Vec<(String, (String, String))>,
+    /// Target synonyms: lowercased phrase → target column.
+    targets: Vec<(String, String)>,
+    /// Phrases marking entities the deployment has no data for (e.g.
+    /// "flight" — the §VIII-D example "questions for delays of specific
+    /// flights" is unsupported because per-flight data is unavailable).
+    unavailable_markers: Vec<String>,
+    /// Maximum predicates the deployment pre-processed.
+    max_query_length: usize,
+}
+
+const EXTREMUM_CUES: [&str; 8] = [
+    "most", "highest", "maximum", "max ", "least", "lowest", "minimum", "worst",
+];
+const COMPARISON_CUES: [&str; 5] = [
+    "compare",
+    "comparison",
+    "versus",
+    " vs ",
+    "difference between",
+];
+const HELP_CUES: [&str; 4] = ["help", "what can you do", "how do i", "instructions"];
+const REPEAT_CUES: [&str; 4] = ["repeat", "again", "say that once more", "come again"];
+
+impl Extractor {
+    /// Build from a relation's value dictionaries; target synonyms start
+    /// with just the column name (underscores spoken as spaces).
+    pub fn from_relation(relation: &EncodedRelation, max_query_length: usize) -> Extractor {
+        let mut values = Vec::new();
+        for dim in relation.dims() {
+            for value in &dim.values {
+                values.push((value.to_lowercase(), (dim.name.clone(), value.to_string())));
+            }
+        }
+        // Longest phrases first so "New York City" wins over "York".
+        values.sort_by_key(|(v, _)| std::cmp::Reverse(v.len()));
+        let targets = vec![(
+            relation.target_name().replace('_', " ").to_lowercase(),
+            relation.target_name().to_string(),
+        )];
+        Extractor {
+            values,
+            targets,
+            unavailable_markers: Vec::new(),
+            max_query_length,
+        }
+    }
+
+    /// Register phrases marking data the deployment does not cover.
+    pub fn with_unavailable_markers(mut self, markers: &[&str]) -> Extractor {
+        self.unavailable_markers
+            .extend(markers.iter().map(|m| m.to_lowercase()));
+        self
+    }
+
+    /// Register "a few samples" of phrasings for a target column —
+    /// the offline stand-in for training the Assistant's extractor.
+    pub fn with_target_synonyms(mut self, target: &str, synonyms: &[&str]) -> Extractor {
+        for synonym in synonyms {
+            self.targets
+                .push((synonym.to_lowercase(), target.to_string()));
+        }
+        // Longest synonyms first for the same reason as values.
+        self.targets
+            .sort_by_key(|(s, _)| std::cmp::Reverse(s.len()));
+        self
+    }
+
+    /// Extract the target column named in `text`, if any.
+    pub fn extract_target(&self, text: &str) -> Option<&str> {
+        let lower = text.to_lowercase();
+        self.targets
+            .iter()
+            .find(|(phrase, _)| contains_phrase(&lower, phrase))
+            .map(|(_, target)| target.as_str())
+    }
+
+    /// Extract equality predicates from `text` (at most one per
+    /// dimension; longest value phrases win).
+    pub fn extract_predicates(&self, text: &str) -> Vec<(String, String)> {
+        let lower = text.to_lowercase();
+        let mut used_dims: FxHashMap<String, ()> = FxHashMap::default();
+        let mut out = Vec::new();
+        for (phrase, (dim, value)) in &self.values {
+            if used_dims.contains_key(dim) {
+                continue;
+            }
+            if contains_phrase(&lower, phrase) {
+                used_dims.insert(dim.clone(), ());
+                out.push((dim.clone(), value.clone()));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Classify a raw voice request (§VIII-D categories).
+    pub fn classify(&self, text: &str) -> Request {
+        let lower = text.to_lowercase();
+        if HELP_CUES.iter().any(|cue| lower.contains(cue)) {
+            return Request::Help;
+        }
+        if REPEAT_CUES.iter().any(|cue| lower.contains(cue)) {
+            return Request::Repeat;
+        }
+        let extremum = EXTREMUM_CUES.iter().any(|cue| lower.contains(cue));
+        let comparison = COMPARISON_CUES.iter().any(|cue| lower.contains(cue));
+        if self
+            .unavailable_markers
+            .iter()
+            .any(|marker| contains_phrase(&lower, marker))
+        {
+            return Request::Unsupported(Unsupported::UnavailableData);
+        }
+        let target = self.extract_target(&lower);
+        let predicates = self.extract_predicates(&lower);
+        let data_access = target.is_some() || !predicates.is_empty();
+        if data_access && comparison {
+            return Request::Unsupported(Unsupported::Comparison);
+        }
+        if data_access && extremum {
+            return Request::Unsupported(Unsupported::Extremum);
+        }
+        match target {
+            Some(target) if predicates.len() <= self.max_query_length => {
+                Request::Query(Query::new(target.to_string(), predicates))
+            }
+            Some(_) => Request::Unsupported(Unsupported::UnavailableData),
+            // A predicate without a recognizable target references data we
+            // cannot serve (e.g. "delays of flight UA123").
+            None if !predicates.is_empty() => Request::Unsupported(Unsupported::UnavailableData),
+            None => Request::Other,
+        }
+    }
+}
+
+/// Word-boundary-aware containment: `phrase` must appear in `text` and
+/// not be glued into a longer word on either side.
+fn contains_phrase(text: &str, phrase: &str) -> bool {
+    if phrase.is_empty() {
+        return false;
+    }
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(phrase) {
+        let begin = start + pos;
+        let end = begin + phrase.len();
+        let ok_before = begin == 0 || !text[..begin].chars().next_back().unwrap().is_alphanumeric();
+        let ok_after = end == text.len() || !text[end..].chars().next().unwrap().is_alphanumeric();
+        if ok_before && ok_after {
+            return true;
+        }
+        start = begin + 1;
+        if start >= text.len() {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqs_core::prelude::Prior;
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["season", "region"],
+            "cancelled",
+            vec![
+                (vec!["Winter", "East"], 20.0),
+                (vec!["Summer", "West"], 10.0),
+                (vec!["Fall", "New York"], 5.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    fn extractor() -> Extractor {
+        Extractor::from_relation(&relation(), 2).with_target_synonyms(
+            "cancelled",
+            &["cancellations", "cancellation probability", "cancel rate"],
+        )
+    }
+
+    #[test]
+    fn extracts_example5_query() {
+        // The paper's Example 5 log entry: "cancellations in Winter?".
+        let ex = extractor();
+        match ex.classify("cancellations in Winter?") {
+            Request::Query(q) => {
+                assert_eq!(q.target(), "cancelled");
+                assert_eq!(
+                    q.predicates(),
+                    &[("season".to_string(), "Winter".to_string())]
+                );
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extracts_multiple_predicates() {
+        let ex = extractor();
+        match ex.classify("what about cancellations in winter in the east") {
+            Request::Query(q) => assert_eq!(q.len(), 2),
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiword_values_match() {
+        let ex = extractor();
+        let preds = ex.extract_predicates("cancellations in new york");
+        assert_eq!(preds, vec![("region".to_string(), "New York".to_string())]);
+    }
+
+    #[test]
+    fn help_and_repeat() {
+        let ex = extractor();
+        assert_eq!(ex.classify("Help me out"), Request::Help);
+        assert_eq!(ex.classify("can you say that again"), Request::Repeat);
+    }
+
+    #[test]
+    fn unsupported_shapes() {
+        let ex = extractor();
+        assert_eq!(
+            ex.classify("make a comparison between cancellations in winter and summer"),
+            Request::Unsupported(Unsupported::Comparison)
+        );
+        assert_eq!(
+            ex.classify("which season has the most cancellations"),
+            Request::Unsupported(Unsupported::Extremum)
+        );
+        // Predicate without target: unavailable data.
+        assert_eq!(
+            ex.classify("tell me about winter"),
+            Request::Unsupported(Unsupported::UnavailableData)
+        );
+    }
+
+    #[test]
+    fn chatter_is_other() {
+        let ex = extractor();
+        assert_eq!(ex.classify("thank you very much"), Request::Other);
+        assert_eq!(ex.classify("play some music"), Request::Other);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_phrase("delays in winter", "winter"));
+        assert!(!contains_phrase("winterization report", "winter"));
+        assert!(contains_phrase("the east region", "east"));
+        assert!(!contains_phrase("northeastern", "east"));
+    }
+
+    #[test]
+    fn labels_match_table3() {
+        let ex = extractor();
+        assert_eq!(ex.classify("help").label(), "Help");
+        assert_eq!(ex.classify("cancellations in winter").label(), "S-Query");
+        assert_eq!(ex.classify("highest cancellations").label(), "U-Query");
+        assert_eq!(ex.classify("good morning").label(), "Other");
+    }
+}

@@ -1,0 +1,230 @@
+//! Queries and stored speech answers.
+
+use std::fmt;
+
+/// A supported voice query: one target column and a conjunction of
+/// equality predicates on dimension columns (§III: "queries requesting
+/// information on values in a target column for a data subset, defined by
+/// a conjunction of equality predicates").
+///
+/// Predicates are kept sorted by dimension name so structurally equal
+/// queries compare and hash equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Query {
+    target: String,
+    predicates: Vec<(String, String)>,
+}
+
+impl Query {
+    /// Build a query; predicates are normalized (sorted by dimension).
+    pub fn new(
+        target: impl Into<String>,
+        predicates: impl IntoIterator<Item = (String, String)>,
+    ) -> Query {
+        let mut predicates: Vec<(String, String)> = predicates.into_iter().collect();
+        predicates.sort();
+        predicates.dedup();
+        Query {
+            target: target.into(),
+            predicates,
+        }
+    }
+
+    /// Convenience builder from string slices.
+    pub fn of(target: &str, predicates: &[(&str, &str)]) -> Query {
+        Query::new(
+            target,
+            predicates
+                .iter()
+                .map(|&(d, v)| (d.to_string(), v.to_string())),
+        )
+    }
+
+    /// The target column.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// The normalized predicates.
+    pub fn predicates(&self) -> &[(String, String)] {
+        &self.predicates
+    }
+
+    /// Query length = number of predicates (§III).
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True for the predicate-free query over the whole table.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// All sub-queries whose predicate sets are subsets of this query's,
+    /// ordered by decreasing predicate count (used for the §III fallback:
+    /// "the speech describing the most specific data subset that contains
+    /// the one referenced in the query").
+    pub fn generalizations(&self) -> Vec<Query> {
+        let n = self.predicates.len();
+        let mut out = Vec::new();
+        for mask in (0..(1u32 << n)).rev() {
+            let predicates: Vec<(String, String)> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| self.predicates[i].clone())
+                .collect();
+            out.push(Query {
+                target: self.target.clone(),
+                predicates,
+            });
+        }
+        out.sort_by_key(|q| std::cmp::Reverse(q.len()));
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.target)?;
+        if !self.predicates.is_empty() {
+            f.write_str(" where ")?;
+            for (i, (d, v)) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" and ")?;
+                }
+                write!(f, "{d}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fact with its scope resolved to column/value names — the stored,
+/// relation-independent form of a selected fact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NamedFact {
+    /// `(dimension, value)` pairs of the scope (empty = overall).
+    pub scope: Vec<(String, String)>,
+    /// Typical (average) value.
+    pub value: f64,
+    /// Number of rows within scope.
+    pub support: usize,
+}
+
+impl NamedFact {
+    /// Human-readable scope phrase ("for season Winter and region East",
+    /// or "overall").
+    pub fn scope_phrase(&self) -> String {
+        if self.scope.is_empty() {
+            return "overall".to_string();
+        }
+        let parts: Vec<String> = self
+            .scope
+            .iter()
+            .map(|(d, v)| format!("{} {}", d.replace('_', " "), v))
+            .collect();
+        format!("for {}", parts.join(" and "))
+    }
+}
+
+/// A pre-generated speech answer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StoredSpeech {
+    /// The query this speech answers.
+    pub query: Query,
+    /// The selected facts.
+    pub facts: Vec<NamedFact>,
+    /// Rendered voice-output text.
+    pub text: String,
+    /// Utility achieved on the query's data subset.
+    pub utility: f64,
+    /// Base error `D(∅)` of the subset.
+    pub base_error: f64,
+    /// Number of rows in the subset.
+    pub rows: usize,
+}
+
+impl StoredSpeech {
+    /// Scaled utility in `[0, 1]`.
+    pub fn scaled_utility(&self) -> f64 {
+        if self.base_error == 0.0 {
+            1.0
+        } else {
+            self.utility / self.base_error
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_normalize() {
+        let a = Query::of("delay", &[("season", "Winter"), ("region", "East")]);
+        let b = Query::of("delay", &[("region", "East"), ("season", "Winter")]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |q: &Query| {
+            let mut h = DefaultHasher::new();
+            q.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn duplicate_predicates_removed() {
+        let q = Query::of("t", &[("a", "x"), ("a", "x")]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn generalizations_order() {
+        let q = Query::of("t", &[("a", "x"), ("b", "y")]);
+        let gens = q.generalizations();
+        assert_eq!(gens.len(), 4);
+        assert_eq!(gens[0], q);
+        assert_eq!(gens[3], Query::of("t", &[]));
+        // Middle two have one predicate each.
+        assert_eq!(gens[1].len(), 1);
+        assert_eq!(gens[2].len(), 1);
+    }
+
+    #[test]
+    fn display_readable() {
+        let q = Query::of("delay", &[("season", "Winter")]);
+        assert_eq!(q.to_string(), "delay where season=Winter");
+        assert_eq!(Query::of("delay", &[]).to_string(), "delay");
+    }
+
+    #[test]
+    fn scope_phrases() {
+        let fact = NamedFact {
+            scope: vec![("age_group".into(), "70-79".into())],
+            value: 80.0,
+            support: 10,
+        };
+        assert_eq!(fact.scope_phrase(), "for age group 70-79");
+        let overall = NamedFact {
+            scope: vec![],
+            value: 35.0,
+            support: 100,
+        };
+        assert_eq!(overall.scope_phrase(), "overall");
+    }
+
+    #[test]
+    fn scaled_utility_bounds() {
+        let speech = StoredSpeech {
+            query: Query::of("t", &[]),
+            facts: vec![],
+            text: String::new(),
+            utility: 30.0,
+            base_error: 120.0,
+            rows: 16,
+        };
+        assert!((speech.scaled_utility() - 0.25).abs() < 1e-12);
+    }
+}

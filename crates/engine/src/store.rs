@@ -1,0 +1,222 @@
+//! The speech store: pre-generated answers and the run-time lookup.
+//!
+//! §III: at run time "the system maps voice queries to the most related
+//! speech summary, generated during pre-processing … among all speeches
+//! referencing the queried target column, the speech describing the most
+//! specific data subset that contains the one referenced in the query is
+//! used" — i.e. a stored speech for predicates `S ⊆ Q` with `|S ∩ Q|`
+//! maximal.
+
+use parking_lot::RwLock;
+use vqs_relalg::hash::FxHashMap;
+
+use crate::problem::{Query, StoredSpeech};
+
+/// Result of a store lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A speech pre-generated for exactly this query.
+    Exact(StoredSpeech),
+    /// Fallback to the most specific generalization (some predicates
+    /// dropped); carries how many predicates were kept.
+    Generalized {
+        /// The speech served.
+        speech: StoredSpeech,
+        /// Number of query predicates the served speech retains.
+        kept_predicates: usize,
+    },
+    /// Nothing matches (unknown target).
+    Miss,
+}
+
+impl Lookup {
+    /// The speech, if any.
+    pub fn speech(&self) -> Option<&StoredSpeech> {
+        match self {
+            Lookup::Exact(s) => Some(s),
+            Lookup::Generalized { speech, .. } => Some(speech),
+            Lookup::Miss => None,
+        }
+    }
+}
+
+/// Thread-safe speech store.
+///
+/// Pre-processing threads insert concurrently; the voice runtime performs
+/// lock-free-ish reads (a brief read lock; lookups are hash probes, §VIII-E
+/// measures them in microseconds).
+#[derive(Debug, Default)]
+pub struct SpeechStore {
+    speeches: RwLock<FxHashMap<Query, StoredSpeech>>,
+}
+
+impl SpeechStore {
+    /// Empty store.
+    pub fn new() -> SpeechStore {
+        SpeechStore::default()
+    }
+
+    /// Insert (or replace) the answer for a query.
+    pub fn insert(&self, speech: StoredSpeech) {
+        self.speeches.write().insert(speech.query.clone(), speech);
+    }
+
+    /// Bulk insert.
+    pub fn extend(&self, speeches: impl IntoIterator<Item = StoredSpeech>) {
+        let mut map = self.speeches.write();
+        for speech in speeches {
+            map.insert(speech.query.clone(), speech);
+        }
+    }
+
+    /// Number of stored speeches.
+    pub fn len(&self) -> usize {
+        self.speeches.read().len()
+    }
+
+    /// True when no speeches are stored.
+    pub fn is_empty(&self) -> bool {
+        self.speeches.read().is_empty()
+    }
+
+    /// Exact lookup only.
+    pub fn get(&self, query: &Query) -> Option<StoredSpeech> {
+        self.speeches.read().get(query).cloned()
+    }
+
+    /// The §III run-time lookup with most-specific-generalization
+    /// fallback.
+    pub fn lookup(&self, query: &Query) -> Lookup {
+        let map = self.speeches.read();
+        if let Some(speech) = map.get(query) {
+            return Lookup::Exact(speech.clone());
+        }
+        // generalizations() is ordered by decreasing predicate count, so
+        // the first hit is the most specific subset S ⊆ Q.
+        for candidate in query.generalizations().into_iter().skip(1) {
+            if let Some(speech) = map.get(&candidate) {
+                return Lookup::Generalized {
+                    speech: speech.clone(),
+                    kept_predicates: candidate.len(),
+                };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// All stored speeches for a target column (diagnostics / studies).
+    pub fn speeches_for_target(&self, target: &str) -> Vec<StoredSpeech> {
+        self.speeches
+            .read()
+            .values()
+            .filter(|s| s.query.target() == target)
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of every stored query.
+    pub fn queries(&self) -> Vec<Query> {
+        self.speeches.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speech(target: &str, preds: &[(&str, &str)]) -> StoredSpeech {
+        StoredSpeech {
+            query: Query::of(target, preds),
+            facts: vec![],
+            text: format!("speech for {target} {preds:?}"),
+            utility: 1.0,
+            base_error: 2.0,
+            rows: 10,
+        }
+    }
+
+    fn store() -> SpeechStore {
+        let store = SpeechStore::new();
+        store.extend([
+            speech("delay", &[]),
+            speech("delay", &[("season", "Winter")]),
+            speech("delay", &[("season", "Winter"), ("region", "East")]),
+            speech("cancelled", &[]),
+        ]);
+        store
+    }
+
+    #[test]
+    fn exact_hit() {
+        let store = store();
+        let q = Query::of("delay", &[("season", "Winter")]);
+        assert!(matches!(store.lookup(&q), Lookup::Exact(_)));
+    }
+
+    #[test]
+    fn fallback_most_specific() {
+        let store = store();
+        // No speech for (Winter, North): falls back to Winter (1 predicate),
+        // not to the overall speech (0 predicates).
+        let q = Query::of("delay", &[("season", "Winter"), ("region", "North")]);
+        match store.lookup(&q) {
+            Lookup::Generalized {
+                speech,
+                kept_predicates,
+            } => {
+                assert_eq!(kept_predicates, 1);
+                assert_eq!(speech.query, Query::of("delay", &[("season", "Winter")]));
+            }
+            other => panic!("expected generalized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_to_overall() {
+        let store = store();
+        let q = Query::of("delay", &[("region", "West")]);
+        match store.lookup(&q) {
+            Lookup::Generalized {
+                speech,
+                kept_predicates,
+            } => {
+                assert_eq!(kept_predicates, 0);
+                assert!(speech.query.is_empty());
+            }
+            other => panic!("expected generalized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_on_unknown_target() {
+        let store = store();
+        let q = Query::of("satisfaction", &[]);
+        assert_eq!(store.lookup(&q), Lookup::Miss);
+        assert!(store.lookup(&q).speech().is_none());
+    }
+
+    #[test]
+    fn target_filter_and_counts() {
+        let store = store();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.speeches_for_target("delay").len(), 3);
+        assert_eq!(store.speeches_for_target("cancelled").len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let store = SpeechStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        store.insert(speech("t", &[("d", &format!("v{t}_{i}"))]));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 200);
+    }
+}

@@ -1,0 +1,275 @@
+//! The voice-query runtime: request in, speech out (Fig. 2 right side).
+//!
+//! At run time the system "merely looks up the best pre-generated speech"
+//! (§VIII-E); the session layer adds help/repeat handling and latency
+//! accounting for the Fig. 10 comparison.
+
+use std::time::Instant;
+
+use crate::extensions::ExtremumIndex;
+use crate::nlq::{Extractor, Request, Unsupported};
+use crate::store::{Lookup, SpeechStore};
+use crate::template::speaking_time_secs;
+
+/// What the system answered and how fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoiceResponse {
+    /// The classified request.
+    pub request: Request,
+    /// Spoken answer text.
+    pub text: String,
+    /// Lookup + classification latency in microseconds (time until the
+    /// system can start speaking).
+    pub latency_micros: u64,
+    /// Estimated speaking time of the answer, in seconds.
+    pub speaking_secs: f64,
+}
+
+/// A stateful voice session over one deployment.
+#[derive(Debug)]
+pub struct VoiceSession<'a> {
+    store: &'a SpeechStore,
+    extractor: Extractor,
+    help_text: String,
+    last_output: Option<String>,
+    extensions: Option<ExtremumIndex>,
+}
+
+impl<'a> VoiceSession<'a> {
+    /// Open a session over a store and extractor.
+    pub fn new(store: &'a SpeechStore, extractor: Extractor, help_text: impl Into<String>) -> Self {
+        VoiceSession {
+            store,
+            extractor,
+            help_text: help_text.into(),
+            last_output: None,
+            extensions: None,
+        }
+    }
+
+    /// Enable the extremum/comparison extension (answers the §VIII-D
+    /// "U-Query" shapes from a pre-computed index instead of apologizing).
+    pub fn with_extensions(mut self, index: ExtremumIndex) -> Self {
+        self.extensions = Some(index);
+        self
+    }
+
+    /// Handle one voice request.
+    pub fn respond(&mut self, text: &str) -> VoiceResponse {
+        let start = Instant::now();
+        let request = self.extractor.classify(text);
+        let answer = match &request {
+            Request::Help => self.help_text.clone(),
+            Request::Repeat => self
+                .last_output
+                .clone()
+                .unwrap_or_else(|| "I have not said anything yet.".to_string()),
+            Request::Query(query) => match self.store.lookup(query) {
+                Lookup::Exact(speech) => speech.text,
+                Lookup::Generalized { speech, .. } => speech.text,
+                Lookup::Miss => "I have no summary for that topic yet.".to_string(),
+            },
+            Request::Unsupported(reason) => match reason {
+                Unsupported::Extremum => self
+                    .extensions
+                    .as_ref()
+                    .and_then(|index| index.answer_extremum_text(text))
+                    .unwrap_or_else(|| {
+                        "I can only summarize averages, not find extremes.".to_string()
+                    }),
+                Unsupported::Comparison => self
+                    .extensions
+                    .as_ref()
+                    .and_then(|index| index.answer_comparison_text(text))
+                    .unwrap_or_else(|| {
+                        "I cannot compare data subsets directly; ask about one subset at a time."
+                            .to_string()
+                    }),
+                Unsupported::UnavailableData => {
+                    "That data is not part of this deployment.".to_string()
+                }
+            },
+            Request::Other => "Sorry, I did not understand. Say 'help' for examples.".to_string(),
+        };
+        let latency_micros = start.elapsed().as_micros() as u64;
+        self.last_output = Some(answer.clone());
+        VoiceResponse {
+            request,
+            speaking_secs: speaking_time_secs(&answer),
+            text: answer,
+            latency_micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Query, StoredSpeech};
+    use vqs_core::prelude::{EncodedRelation, Prior};
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["season"],
+            "cancelled",
+            vec![(vec!["Winter"], 20.0), (vec!["Summer"], 10.0)],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    fn store() -> SpeechStore {
+        let store = SpeechStore::new();
+        store.insert(StoredSpeech {
+            query: Query::of("cancelled", &[("season", "Winter")]),
+            facts: vec![],
+            text: "The cancellation probability for season Winter is about 20 percent.".to_string(),
+            utility: 1.0,
+            base_error: 2.0,
+            rows: 1,
+        });
+        store.insert(StoredSpeech {
+            query: Query::of("cancelled", &[]),
+            facts: vec![],
+            text: "The cancellation probability overall is about 15 percent.".to_string(),
+            utility: 1.0,
+            base_error: 2.0,
+            rows: 2,
+        });
+        store
+    }
+
+    fn session(store: &SpeechStore) -> VoiceSession<'_> {
+        let extractor = Extractor::from_relation(&relation(), 2)
+            .with_target_synonyms("cancelled", &["cancellations"]);
+        VoiceSession::new(store, extractor, "Ask about cancellations by season.")
+    }
+
+    #[test]
+    fn answers_supported_query() {
+        let store = store();
+        let mut session = session(&store);
+        let response = session.respond("cancellations in winter?");
+        assert!(response.text.contains("Winter"));
+        assert!(matches!(response.request, Request::Query(_)));
+        assert!(response.speaking_secs > 0.0);
+    }
+
+    #[test]
+    fn repeat_replays_last_output() {
+        let store = store();
+        let mut session = session(&store);
+        assert!(session
+            .respond("say that again")
+            .text
+            .contains("not said anything"));
+        let first = session.respond("cancellations in winter").text;
+        let repeated = session.respond("repeat that").text;
+        assert_eq!(first, repeated);
+    }
+
+    #[test]
+    fn help_and_fallbacks() {
+        let store = store();
+        let mut session = session(&store);
+        assert!(session.respond("help").text.contains("Ask about"));
+        // Unknown season value for this deployment: falls back to the
+        // overall speech via the store's generalization lookup.
+        let response = session.respond("cancellations in summer");
+        assert!(response.text.contains("overall"));
+        let response = session.respond("what is the weather");
+        assert!(matches!(response.request, Request::Other));
+    }
+
+    #[test]
+    fn unsupported_requests_are_explained() {
+        let store = store();
+        let mut session = session(&store);
+        let response = session.respond("compare cancellations in winter versus summer");
+        assert!(matches!(response.request, Request::Unsupported(_)));
+        assert!(response.text.contains("compare"));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::extensions::ExtremumIndex;
+    use crate::problem::{Query, StoredSpeech};
+    use vqs_core::prelude::{EncodedRelation, Prior};
+
+    fn relation() -> EncodedRelation {
+        EncodedRelation::from_rows(
+            &["airline"],
+            "cancelled",
+            vec![
+                (vec!["Delta"], 60.0),
+                (vec!["United"], 20.0),
+                (vec!["Alaska"], 10.0),
+            ],
+            Prior::Constant(0.0),
+        )
+        .unwrap()
+    }
+
+    fn store() -> SpeechStore {
+        let store = SpeechStore::new();
+        store.insert(StoredSpeech {
+            query: Query::of("cancelled", &[]),
+            facts: vec![],
+            text: "The cancellation probability overall is about 30.".to_string(),
+            utility: 1.0,
+            base_error: 2.0,
+            rows: 3,
+        });
+        store
+    }
+
+    #[test]
+    fn extensions_answer_extremum_queries() {
+        let relation = relation();
+        let store = store();
+        let extractor = Extractor::from_relation(&relation, 2)
+            .with_target_synonyms("cancelled", &["cancellations"]);
+        let index = ExtremumIndex::build(&relation, "cancellation probability");
+        let mut session = VoiceSession::new(&store, extractor, "help").with_extensions(index);
+        let response = session.respond("which airline has the most cancellations");
+        assert!(matches!(
+            response.request,
+            Request::Unsupported(Unsupported::Extremum)
+        ));
+        assert!(
+            response.text.contains("Delta has the highest"),
+            "{}",
+            response.text
+        );
+    }
+
+    #[test]
+    fn extensions_answer_comparison_queries() {
+        let relation = relation();
+        let store = store();
+        let extractor = Extractor::from_relation(&relation, 2)
+            .with_target_synonyms("cancelled", &["cancellations"]);
+        let index = ExtremumIndex::build(&relation, "cancellation probability");
+        let mut session = VoiceSession::new(&store, extractor, "help").with_extensions(index);
+        let response =
+            session.respond("make a comparison between cancellations for Delta and Alaska");
+        assert!(matches!(
+            response.request,
+            Request::Unsupported(Unsupported::Comparison)
+        ));
+        assert!(response.text.contains("times"), "{}", response.text);
+    }
+
+    #[test]
+    fn without_extensions_the_apology_remains() {
+        let relation = relation();
+        let store = store();
+        let extractor = Extractor::from_relation(&relation, 2)
+            .with_target_synonyms("cancelled", &["cancellations"]);
+        let mut session = VoiceSession::new(&store, extractor, "help");
+        let response = session.respond("which airline has the most cancellations");
+        assert!(response.text.contains("not find extremes"));
+    }
+}

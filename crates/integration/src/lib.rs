@@ -1,0 +1,1 @@
+// vqs-integration: tests live in the repository-root tests/ directory.

@@ -1,0 +1,248 @@
+//! Minimal CSV reader/writer (RFC-4180 quoting) for loading example data
+//! and exporting experiment results. Hand-rolled to stay within the
+//! approved dependency set.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{RelalgError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{ColumnType, Value};
+
+/// Parse one CSV record from `line`, honoring quotes. Returns the fields.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(RelalgError::Csv {
+                            line: line_no,
+                            detail: "quote inside unquoted field".to_string(),
+                        });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelalgError::Csv {
+            line: line_no,
+            detail: "unterminated quote".to_string(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn parse_value(text: &str, ty: ColumnType, line_no: usize) -> Result<Value> {
+    if text.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ColumnType::Str => Ok(Value::str(text)),
+        ColumnType::Bool => match text {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            _ => Err(RelalgError::Csv {
+                line: line_no,
+                detail: format!("invalid bool '{text}'"),
+            }),
+        },
+        ColumnType::Int => text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| RelalgError::Csv {
+                line: line_no,
+                detail: format!("invalid int '{text}'"),
+            }),
+        ColumnType::Float => text
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| RelalgError::Csv {
+                line: line_no,
+                detail: format!("invalid float '{text}'"),
+            }),
+    }
+}
+
+/// Read a table from CSV text with a header row; the caller supplies the
+/// schema (column order must match the header).
+pub fn read_csv(reader: impl BufRead, schema: Schema) -> Result<Table> {
+    let mut table = Table::empty(schema);
+    let mut lines = reader.lines().enumerate();
+    // Header row: validate names.
+    let header = match lines.next() {
+        Some((_, Ok(line))) => parse_record(&line, 1)?,
+        Some((_, Err(e))) => {
+            return Err(RelalgError::Csv {
+                line: 1,
+                detail: e.to_string(),
+            });
+        }
+        None => return Ok(table),
+    };
+    for (field, name) in table.schema().fields().iter().zip(&header) {
+        if &field.name != name {
+            return Err(RelalgError::Csv {
+                line: 1,
+                detail: format!(
+                    "header '{name}' does not match schema column '{}'",
+                    field.name
+                ),
+            });
+        }
+    }
+    let width = table.schema().len();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| RelalgError::Csv {
+            line: line_no,
+            detail: e.to_string(),
+        })?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line, line_no)?;
+        if fields.len() != width {
+            return Err(RelalgError::Csv {
+                line: line_no,
+                detail: format!("expected {width} fields, got {}", fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(width);
+        for (text, field) in fields.iter().zip(table.schema().fields()) {
+            row.push(parse_value(text, field.ty, line_no)?);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write a table as CSV with a header row.
+pub fn write_csv(table: &Table, mut writer: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| RelalgError::Csv {
+        line: 0,
+        detail: e.to_string(),
+    };
+    let header: Vec<String> = table.schema().names().map(escape).collect();
+    writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
+    for row in table.iter_rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape(&v.to_string())
+                }
+            })
+            .collect();
+        writeln!(writer, "{}", cells.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("region", ColumnType::Str),
+            Field::nullable("season", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let table = Table::from_rows(
+            schema(),
+            vec![
+                vec!["East".into(), "Winter".into(), 20.0.into()],
+                vec!["South, NY".into(), Value::Null, 10.5.into()],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&table, &mut buf).unwrap();
+        let parsed = read_csv(buf.as_slice(), schema()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.value(1, 0), Value::str("South, NY"));
+        assert_eq!(parsed.value(1, 1), Value::Null);
+        assert_eq!(parsed.value(1, 2), Value::Float(10.5));
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_quotes() {
+        let text = "region,season,delay\n\"a \"\"big\"\" one\",Winter,1.0\n";
+        let parsed = read_csv(text.as_bytes(), schema()).unwrap();
+        assert_eq!(parsed.value(0, 0), Value::str("a \"big\" one"));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let text = "wrong,season,delay\nEast,Winter,1.0\n";
+        let err = read_csv(text.as_bytes(), schema()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn field_count_mismatch_rejected() {
+        let text = "region,season,delay\nEast,Winter\n";
+        let err = read_csv(text.as_bytes(), schema()).unwrap_err();
+        assert!(err.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let text = "region,season,delay\nEast,Winter,notanumber\n";
+        let err = read_csv(text.as_bytes(), schema()).unwrap_err();
+        assert!(matches!(err, RelalgError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_table() {
+        let parsed = read_csv("".as_bytes(), schema()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let text = "region,season,delay\n\"East,Winter,1.0\n";
+        assert!(read_csv(text.as_bytes(), schema()).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! A fast, non-cryptographic hasher for internal hash maps.
+//!
+//! The engine hashes short keys (dictionary codes, column indexes, small
+//! value tuples) on the hot path of joins and aggregations. SipHash — the
+//! standard-library default — is noticeably slower for such keys, so we
+//! bundle the well-known Fx multiply-rotate hash (as popularised by rustc
+//! and Firefox) rather than pull in an external dependency. HashDoS
+//! resistance is irrelevant here: all hashed data is produced by the local
+//! process.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant of the Fx hash (64-bit golden-ratio mix).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied between words.
+const ROTATE: u32 = 5;
+
+/// Fx hasher: one multiply and one rotate per ingested word.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"south"), hash_of(&"south"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+        assert_ne!(hash_of(&"winter"), hash_of(&"winters"));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i * 7), i as usize);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&(13, 91)], 13);
+    }
+
+    #[test]
+    fn odd_length_byte_strings_differ_from_padded() {
+        // A trailing zero byte must not collide with the unpadded string.
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3, 0][..]));
+    }
+
+    #[test]
+    fn spreads_low_entropy_keys() {
+        // Sequential integers should not collide in the low bits too badly:
+        // count distinct low-16-bit buckets across 4096 sequential keys.
+        let mut buckets = FxHashSet::default();
+        for i in 0..4096u64 {
+            buckets.insert(hash_of(&i) & 0xffff);
+        }
+        assert!(
+            buckets.len() > 3000,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Γ: grouping and aggregation.
+
+use crate::error::{RelalgError, Result};
+use crate::expr::Expr;
+use crate::hash::FxHashMap;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{ColumnType, Value};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of non-NULL values (NULL on empty input, like SQL).
+    Sum,
+    /// Count of non-NULL values.
+    Count,
+    /// Count of all rows (`COUNT(*)`).
+    CountAll,
+    /// Average of non-NULL values.
+    Avg,
+    /// Minimum non-NULL value.
+    Min,
+    /// Maximum non-NULL value.
+    Max,
+}
+
+/// One aggregate column specification.
+#[derive(Debug, Clone)]
+pub struct AggItem {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression (ignored for `CountAll`).
+    pub expr: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggItem {
+    /// Build an aggregate item.
+    pub fn new(func: AggFunc, expr: Expr, name: impl Into<String>) -> Self {
+        AggItem {
+            func,
+            expr,
+            name: name.into(),
+        }
+    }
+}
+
+/// Accumulator for a single (group, aggregate) pair.
+#[derive(Debug, Clone, Default)]
+struct Accumulator {
+    sum: f64,
+    count: u64,
+    rows: u64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    fn update(&mut self, value: Value) {
+        self.rows += 1;
+        if value.is_null() {
+            return;
+        }
+        if let Some(v) = value.as_f64() {
+            self.sum += v;
+        }
+        self.count += 1;
+        match &self.min {
+            Some(current) if *current <= value => {}
+            _ => self.min = Some(value.clone()),
+        }
+        match &self.max {
+            Some(current) if *current >= value => {}
+            _ => self.max = Some(value),
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::CountAll => Value::Int(self.rows as i64),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Γ: group `input` by the `group_by` expressions and compute `aggs`.
+///
+/// Output columns are the group keys (named `key0..` unless a name is
+/// provided via `key_names`) followed by the aggregates. With an empty
+/// `group_by`, a single global group is produced even for empty input
+/// (matching SQL aggregate queries without GROUP BY).
+pub fn aggregate(
+    input: &Table,
+    group_by: &[Expr],
+    key_names: &[&str],
+    aggs: &[AggItem],
+) -> Result<Table> {
+    if !key_names.is_empty() && key_names.len() != group_by.len() {
+        return Err(RelalgError::Invalid {
+            detail: format!(
+                "aggregate: {} key names for {} group expressions",
+                key_names.len(),
+                group_by.len()
+            ),
+        });
+    }
+
+    // Output schema: keys then aggregates.
+    let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+    for (i, key) in group_by.iter().enumerate() {
+        let name = key_names
+            .get(i)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("key{i}"));
+        fields.push(Field {
+            name,
+            ty: key.infer_type(input.schema())?,
+            nullable: key.infer_nullable(input.schema()),
+        });
+    }
+    for agg in aggs {
+        let ty = match agg.func {
+            AggFunc::Count | AggFunc::CountAll => ColumnType::Int,
+            AggFunc::Sum | AggFunc::Avg => ColumnType::Float,
+            AggFunc::Min | AggFunc::Max => agg.expr.infer_type(input.schema())?,
+        };
+        fields.push(Field {
+            name: agg.name.clone(),
+            ty,
+            nullable: true,
+        });
+    }
+    let schema = Schema::new(fields)?;
+
+    // Group states in first-seen order for deterministic output.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: FxHashMap<Vec<Value>, Vec<Accumulator>> = FxHashMap::default();
+    for row in 0..input.len() {
+        let mut key = Vec::with_capacity(group_by.len());
+        for expr in group_by {
+            key.push(expr.eval(input, row)?);
+        }
+        let state = match groups.get_mut(&key) {
+            Some(state) => state,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| vec![Accumulator::default(); aggs.len()])
+            }
+        };
+        for (acc, agg) in state.iter_mut().zip(aggs) {
+            let value = match agg.func {
+                AggFunc::CountAll => Value::Int(1),
+                _ => agg.expr.eval(input, row)?,
+            };
+            acc.update(value);
+        }
+    }
+
+    // Global aggregate over empty input still yields one row.
+    if group_by.is_empty() && order.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), vec![Accumulator::default(); aggs.len()]);
+    }
+
+    let mut output = Table::empty(schema);
+    for key in order {
+        let state = &groups[&key];
+        let mut row = key;
+        for (acc, agg) in state.iter().zip(aggs) {
+            row.push(acc.finish(agg.func));
+        }
+        output.push_row(row)?;
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::required("season", ColumnType::Str),
+            Field::nullable("delay", ColumnType::Float),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec!["Winter".into(), 20.0.into()],
+                vec!["Winter".into(), 10.0.into()],
+                vec!["Summer".into(), 20.0.into()],
+                vec!["Summer".into(), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_sums_and_averages() {
+        let out = aggregate(
+            &table(),
+            &[Expr::col(0)],
+            &["season"],
+            &[
+                AggItem::new(AggFunc::Sum, Expr::col(1), "total"),
+                AggItem::new(AggFunc::Avg, Expr::col(1), "avg"),
+                AggItem::new(AggFunc::Count, Expr::col(1), "n"),
+                AggItem::new(AggFunc::CountAll, Expr::col(1), "rows"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        // First-seen order: Winter then Summer.
+        assert_eq!(out.value(0, 0), Value::str("Winter"));
+        assert_eq!(out.value(0, 1), Value::Float(30.0));
+        assert_eq!(out.value(0, 2), Value::Float(15.0));
+        assert_eq!(out.value(1, 0), Value::str("Summer"));
+        assert_eq!(out.value(1, 1), Value::Float(20.0));
+        assert_eq!(out.value(1, 3), Value::Int(1)); // NULL not counted
+        assert_eq!(out.value(1, 4), Value::Int(2)); // COUNT(*) counts all
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let out = aggregate(
+            &table(),
+            &[],
+            &[],
+            &[AggItem::new(AggFunc::Max, Expr::col(1), "m")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, 0), Value::Float(20.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let empty = Table::empty(table().schema().clone());
+        let out = aggregate(
+            &empty,
+            &[],
+            &[],
+            &[
+                AggItem::new(AggFunc::Sum, Expr::col(1), "s"),
+                AggItem::new(AggFunc::Count, Expr::col(1), "n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, 0), Value::Null);
+        assert_eq!(out.value(0, 1), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let out = aggregate(
+            &table(),
+            &[],
+            &[],
+            &[
+                AggItem::new(AggFunc::Min, Expr::col(0), "lo"),
+                AggItem::new(AggFunc::Max, Expr::col(0), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, 0), Value::str("Summer"));
+        assert_eq!(out.value(0, 1), Value::str("Winter"));
+    }
+
+    #[test]
+    fn group_by_expression() {
+        // Group by delay > 15.
+        let out = aggregate(
+            &table(),
+            &[Expr::col(1).gt(Expr::lit(15.0))],
+            &["high"],
+            &[AggItem::new(AggFunc::CountAll, Expr::col(0), "n")],
+        )
+        .unwrap();
+        // Groups: true (2 rows), false (1 row), NULL (1 row).
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn key_name_arity_checked() {
+        let err = aggregate(&table(), &[Expr::col(0)], &["a", "b"], &[]).unwrap_err();
+        assert!(err.to_string().contains("key names"));
+    }
+
+    #[test]
+    fn null_group_keys_group_together() {
+        let schema = Schema::new(vec![Field::nullable("k", ColumnType::Str)]).unwrap();
+        let t = Table::from_rows(
+            schema,
+            vec![vec![Value::Null], vec![Value::Null], vec!["x".into()]],
+        )
+        .unwrap();
+        let out = aggregate(
+            &t,
+            &[Expr::col(0)],
+            &["k"],
+            &[AggItem::new(AggFunc::CountAll, Expr::col(0), "n")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let null_group = out.iter_rows().find(|r| r[0].is_null()).unwrap();
+        assert_eq!(null_group[1], Value::Int(2));
+    }
+}

@@ -1,0 +1,62 @@
+//! Cartesian product (the × operator of Algorithm 1's speech expansion).
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// ×: every left row paired with every right row.
+///
+/// Algorithm 1 uses this to expand partial speeches by every candidate
+/// fact; the subsequent pruning filter keeps the blow-up in check.
+pub fn cross_join(left: &Table, right: &Table) -> Result<Table> {
+    let schema = left.schema().join(right.schema())?;
+    let mut output = Table::empty(schema);
+    for lrow in 0..left.len() {
+        for rrow in 0..right.len() {
+            let mut row = left.row(lrow);
+            row.extend(right.row(rrow));
+            output.push_row(row)?;
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::{ColumnType, Value};
+
+    fn small(name: &str, values: &[i64]) -> Table {
+        let schema = Schema::new(vec![Field::required(name, ColumnType::Int)]).unwrap();
+        Table::from_rows(schema, values.iter().map(|&v| vec![Value::Int(v)])).unwrap()
+    }
+
+    #[test]
+    fn product_size() {
+        let out = cross_join(&small("a", &[1, 2, 3]), &small("b", &[10, 20])).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.schema().len(), 2);
+    }
+
+    #[test]
+    fn pairs_every_combination() {
+        let out = cross_join(&small("a", &[1, 2]), &small("b", &[10, 20])).unwrap();
+        let rows: Vec<(i64, i64)> = out
+            .iter_rows()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        assert_eq!(rows, vec![(1, 10), (1, 20), (2, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn empty_side_yields_empty() {
+        let out = cross_join(&small("a", &[]), &small("b", &[1])).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn name_collision_renamed() {
+        let out = cross_join(&small("a", &[1]), &small("a", &[2])).unwrap();
+        assert!(out.schema().index_of("right.a").is_ok());
+    }
+}

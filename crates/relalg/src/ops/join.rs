@@ -1,0 +1,325 @@
+//! Join operators: hash equi-join and the paper's "scope join".
+
+use crate::error::{RelalgError, Result};
+use crate::hash::FxHashMap;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Join type for [`hash_join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Keep only matching pairs.
+    Inner,
+    /// Keep all left rows; unmatched right side becomes NULLs.
+    Left,
+}
+
+/// Hash equi-join on the given key column pairs.
+///
+/// The output schema is `left.schema().join(right.schema())`; duplicate
+/// right-side names get a `right.` prefix. NULL keys never match (SQL
+/// semantics), including NULL–NULL.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    keys: &[(usize, usize)],
+    join_type: JoinType,
+) -> Result<Table> {
+    for &(l, r) in keys {
+        left.column(l)?;
+        right.column(r)?;
+    }
+    let mut schema = left.schema().join(right.schema())?;
+    if join_type == JoinType::Left {
+        // Unmatched left rows are padded with NULLs on the right side.
+        let mut fields = schema.fields().to_vec();
+        for field in fields.iter_mut().skip(left.schema().len()) {
+            field.nullable = true;
+        }
+        schema = crate::schema::Schema::new(fields)?;
+    }
+    let mut output = Table::empty(schema);
+
+    // Build side: hash the (smaller in spirit) right input.
+    let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    'rows: for row in 0..right.len() {
+        let mut key = Vec::with_capacity(keys.len());
+        for &(_, r) in keys {
+            let v = right.value(row, r);
+            if v.is_null() {
+                continue 'rows; // NULL keys never match
+            }
+            key.push(v);
+        }
+        index.entry(key).or_default().push(row);
+    }
+
+    let right_width = right.schema().len();
+    for lrow in 0..left.len() {
+        let mut key = Vec::with_capacity(keys.len());
+        let mut has_null = false;
+        for &(l, _) in keys {
+            let v = left.value(lrow, l);
+            has_null |= v.is_null();
+            key.push(v);
+        }
+        let matches = if has_null { None } else { index.get(&key) };
+        match matches {
+            Some(rrows) => {
+                for &rrow in rrows {
+                    let mut row = left.row(lrow);
+                    row.extend(right.row(rrow));
+                    output.push_row(row)?;
+                }
+            }
+            None => {
+                if join_type == JoinType::Left {
+                    let mut row = left.row(lrow);
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
+                    output.push_row(row)?;
+                }
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// The paper's join condition `M`: a *fact* row matches a *data* row when,
+/// for every dimension pair, the fact value is NULL (unrestricted) or equal
+/// to the data value.
+///
+/// `dims` maps fact-side column indexes to data-side column indexes.
+///
+/// Implementation: facts are bucketed by their restriction mask (which dims
+/// are non-NULL); each data row then probes one hash bucket per distinct
+/// mask instead of scanning all facts — `O(n · #masks)` rather than
+/// `O(n · k)`. With facts restricted to at most two dimensions the number of
+/// masks is small (1 + d + d²/2), which is what makes the paper's
+/// per-iteration joins affordable.
+pub fn scope_join(facts: &Table, data: &Table, dims: &[(usize, usize)]) -> Result<Table> {
+    for &(f, d) in dims {
+        facts.column(f)?;
+        data.column(d)?;
+    }
+    if dims.len() > 63 {
+        return Err(RelalgError::Invalid {
+            detail: format!(
+                "scope_join supports at most 63 dimensions, got {}",
+                dims.len()
+            ),
+        });
+    }
+    let schema = facts.schema().join(data.schema())?;
+    let mut output = Table::empty(schema);
+
+    // Bucket facts by (mask, restricted values).
+    let mut buckets: FxHashMap<(u64, Vec<Value>), Vec<usize>> = FxHashMap::default();
+    let mut masks: Vec<u64> = Vec::new();
+    for frow in 0..facts.len() {
+        let mut mask = 0u64;
+        let mut key = Vec::new();
+        for (bit, &(f, _)) in dims.iter().enumerate() {
+            let v = facts.value(frow, f);
+            if !v.is_null() {
+                mask |= 1 << bit;
+                key.push(v);
+            }
+        }
+        if !masks.contains(&mask) {
+            masks.push(mask);
+        }
+        buckets.entry((mask, key)).or_default().push(frow);
+    }
+
+    for drow in 0..data.len() {
+        let dim_values: Vec<Value> = dims.iter().map(|&(_, d)| data.value(drow, d)).collect();
+        for &mask in &masks {
+            let mut key = Vec::new();
+            let mut null_blocked = false;
+            for (bit, v) in dim_values.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    if v.is_null() {
+                        // A NULL data value cannot satisfy F.d = R.d.
+                        null_blocked = true;
+                        break;
+                    }
+                    key.push(v.clone());
+                }
+            }
+            if null_blocked {
+                continue;
+            }
+            if let Some(frows) = buckets.get(&(mask, key)) {
+                for &frow in frows {
+                    let mut row = facts.row(frow);
+                    row.extend(data.row(drow));
+                    output.push_row(row)?;
+                }
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Reference nested-loop implementation of the scope join, used by tests
+/// and the ablation benches to validate and compare `scope_join`.
+pub fn scope_join_nested_loop(
+    facts: &Table,
+    data: &Table,
+    dims: &[(usize, usize)],
+) -> Result<Table> {
+    let schema = facts.schema().join(data.schema())?;
+    let mut output = Table::empty(schema);
+    for frow in 0..facts.len() {
+        for drow in 0..data.len() {
+            let mut within = true;
+            for &(f, d) in dims {
+                let fv = facts.value(frow, f);
+                if fv.is_null() {
+                    continue;
+                }
+                let dv = data.value(drow, d);
+                if dv.is_null() || fv != dv {
+                    within = false;
+                    break;
+                }
+            }
+            if within {
+                let mut row = facts.row(frow);
+                row.extend(data.row(drow));
+                output.push_row(row)?;
+            }
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::ColumnType;
+
+    fn data() -> Table {
+        let schema = Schema::new(vec![
+            Field::required("region", ColumnType::Str),
+            Field::required("season", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec!["East".into(), "Winter".into(), 20.0.into()],
+                vec!["South".into(), "Winter".into(), 10.0.into()],
+                vec!["South".into(), "Summer".into(), 20.0.into()],
+                vec!["North".into(), "Spring".into(), 20.0.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn facts() -> Table {
+        // Facts: (region?, season?, value). NULL = unrestricted.
+        let schema = Schema::new(vec![
+            Field::nullable("f_region", ColumnType::Str),
+            Field::nullable("f_season", ColumnType::Str),
+            Field::required("value", ColumnType::Float),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Null, "Winter".into(), 15.0.into()],
+                vec!["South".into(), Value::Null, 15.0.into()],
+                vec!["South".into(), "Summer".into(), 20.0.into()],
+                vec![Value::Null, Value::Null, 17.5.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let left = data();
+        let right = data();
+        let out = hash_join(&left, &right, &[(0, 0)], JoinType::Inner).unwrap();
+        // East:1×1, South:2×2, North:1×1 = 6 pairs.
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.schema().len(), 6);
+        assert!(out.schema().index_of("right.region").is_ok());
+    }
+
+    #[test]
+    fn hash_join_left_pads_with_null() {
+        let left = data();
+        let right_schema = Schema::new(vec![
+            Field::required("region", ColumnType::Str),
+            Field::required("bonus", ColumnType::Int),
+        ])
+        .unwrap();
+        let right = Table::from_rows(right_schema, vec![vec!["East".into(), 1.into()]]).unwrap();
+        let out = hash_join(&left, &right, &[(0, 0)], JoinType::Left).unwrap();
+        assert_eq!(out.len(), 4);
+        let east_row = out
+            .iter_rows()
+            .find(|r| r[0] == Value::str("East"))
+            .unwrap();
+        assert_eq!(east_row[4], Value::Int(1));
+        let south_row = out
+            .iter_rows()
+            .find(|r| r[0] == Value::str("South"))
+            .unwrap();
+        assert_eq!(south_row[4], Value::Null);
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let schema = Schema::new(vec![Field::nullable("k", ColumnType::Int)]).unwrap();
+        let left = Table::from_rows(schema.clone(), vec![vec![Value::Null]]).unwrap();
+        let right = Table::from_rows(schema, vec![vec![Value::Null]]).unwrap();
+        let inner = hash_join(&left, &right, &[(0, 0)], JoinType::Inner).unwrap();
+        assert_eq!(inner.len(), 0);
+        let left_join = hash_join(&left, &right, &[(0, 0)], JoinType::Left).unwrap();
+        assert_eq!(left_join.len(), 1);
+    }
+
+    #[test]
+    fn scope_join_matches_by_subset() {
+        let out = scope_join(&facts(), &data(), &[(0, 0), (1, 1)]).unwrap();
+        // Winter fact matches 2 rows, South fact matches 2 rows,
+        // South+Summer matches 1, unrestricted matches 4 → 9 pairs.
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn scope_join_equals_nested_loop() {
+        let fast = scope_join(&facts(), &data(), &[(0, 0), (1, 1)]).unwrap();
+        let slow = scope_join_nested_loop(&facts(), &data(), &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        let mut fast_rows: Vec<Vec<Value>> = fast.iter_rows().collect();
+        let mut slow_rows: Vec<Vec<Value>> = slow.iter_rows().collect();
+        fast_rows.sort();
+        slow_rows.sort();
+        assert_eq!(fast_rows, slow_rows);
+    }
+
+    #[test]
+    fn scope_join_empty_facts() {
+        let empty = Table::empty(facts().schema().clone());
+        let out = scope_join(&empty, &data(), &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn scope_join_rejects_too_many_dims() {
+        let dims: Vec<(usize, usize)> = (0..64).map(|i| (i, i)).collect();
+        assert!(scope_join(&facts(), &data(), &dims).is_err());
+    }
+
+    #[test]
+    fn join_checks_column_bounds() {
+        assert!(hash_join(&data(), &data(), &[(9, 0)], JoinType::Inner).is_err());
+        assert!(scope_join(&facts(), &data(), &[(9, 0)]).is_err());
+    }
+}

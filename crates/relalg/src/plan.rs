@@ -1,0 +1,379 @@
+//! Composable logical plans.
+//!
+//! The summarization algorithms in `vqs-core` express the paper's
+//! pseudo-code (Algorithms 1 and 2) as operator trees — the Rust analogue
+//! of "issuing a series of SQL queries" against the DBMS. A [`Plan`] is
+//! such a tree; [`Plan::execute`] materializes it bottom-up and
+//! [`Plan::explain`] renders an `EXPLAIN`-style summary.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::ops::aggregate::{aggregate, AggItem};
+use crate::ops::cross::cross_join;
+use crate::ops::join::{hash_join, scope_join, JoinType};
+use crate::ops::{distinct, filter, limit, project, sort, ProjectItem};
+use crate::table::Table;
+
+/// A logical plan node.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Leaf: an already-materialized table (shared, cheap to clone).
+    Values(Arc<Table>),
+    /// σ.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row predicate.
+        predicate: Expr,
+    },
+    /// Π.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output columns.
+        items: Vec<ProjectItem>,
+    },
+    /// Γ.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-by expressions.
+        group_by: Vec<Expr>,
+        /// Names for the group-key output columns.
+        key_names: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggItem>,
+    },
+    /// Hash equi-join.
+    HashJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Key column index pairs (left, right).
+        keys: Vec<(usize, usize)>,
+        /// Inner or left outer.
+        join_type: JoinType,
+    },
+    /// The paper's fact-scope join (condition `M`).
+    ScopeJoin {
+        /// Facts input (NULL dimension = unrestricted).
+        facts: Box<Plan>,
+        /// Data input.
+        data: Box<Plan>,
+        /// Dimension column index pairs (fact, data).
+        dims: Vec<(usize, usize)>,
+    },
+    /// ×.
+    Cross {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// ORDER BY.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys (ascending).
+        keys: Vec<Expr>,
+    },
+    /// DISTINCT.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// LIMIT.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum rows.
+        n: usize,
+    },
+}
+
+impl Plan {
+    /// Leaf from a table.
+    pub fn values(table: Table) -> Plan {
+        Plan::Values(Arc::new(table))
+    }
+
+    /// Leaf sharing a table.
+    pub fn shared(table: Arc<Table>) -> Plan {
+        Plan::Values(table)
+    }
+
+    /// σ on top of this plan.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Π on top of this plan.
+    pub fn project(self, items: Vec<ProjectItem>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            items,
+        }
+    }
+
+    /// Γ on top of this plan.
+    pub fn aggregate(
+        self,
+        group_by: Vec<Expr>,
+        key_names: Vec<String>,
+        aggs: Vec<AggItem>,
+    ) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            key_names,
+            aggs,
+        }
+    }
+
+    /// Hash join with another plan.
+    pub fn hash_join(self, right: Plan, keys: Vec<(usize, usize)>, join_type: JoinType) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            keys,
+            join_type,
+        }
+    }
+
+    /// Scope-join this plan (as facts) with `data`.
+    pub fn scope_join(self, data: Plan, dims: Vec<(usize, usize)>) -> Plan {
+        Plan::ScopeJoin {
+            facts: Box::new(self),
+            data: Box::new(data),
+            dims,
+        }
+    }
+
+    /// Cartesian product with another plan.
+    pub fn cross(self, right: Plan) -> Plan {
+        Plan::Cross {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// ORDER BY on top of this plan.
+    pub fn sort(self, keys: Vec<Expr>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// DISTINCT on top of this plan.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// LIMIT on top of this plan.
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Materialize the plan bottom-up.
+    pub fn execute(&self) -> Result<Table> {
+        match self {
+            Plan::Values(table) => Ok(table.as_ref().clone()),
+            Plan::Filter { input, predicate } => filter(&input.execute()?, predicate),
+            Plan::Project { input, items } => project(&input.execute()?, items),
+            Plan::Aggregate {
+                input,
+                group_by,
+                key_names,
+                aggs,
+            } => {
+                let names: Vec<&str> = key_names.iter().map(String::as_str).collect();
+                aggregate(&input.execute()?, group_by, &names, aggs)
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                keys,
+                join_type,
+            } => hash_join(&left.execute()?, &right.execute()?, keys, *join_type),
+            Plan::ScopeJoin { facts, data, dims } => {
+                scope_join(&facts.execute()?, &data.execute()?, dims)
+            }
+            Plan::Cross { left, right } => cross_join(&left.execute()?, &right.execute()?),
+            Plan::Sort { input, keys } => sort(&input.execute()?, keys),
+            Plan::Distinct { input } => distinct(&input.execute()?),
+            Plan::Limit { input, n } => limit(&input.execute()?, *n),
+        }
+    }
+
+    /// Render an indented EXPLAIN-style description of the plan.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Values(table) => {
+                let _ = writeln!(out, "{pad}Values[{} rows, {}]", table.len(), table.schema());
+            }
+            Plan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter[{predicate}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, items } => {
+                let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+                let _ = writeln!(out, "{pad}Project[{}]", names.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate[{} keys, {} aggs]",
+                    group_by.len(),
+                    aggs.len()
+                );
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                keys,
+                join_type,
+            } => {
+                let _ = writeln!(out, "{pad}HashJoin[{join_type:?}, {} keys]", keys.len());
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::ScopeJoin { facts, data, dims } => {
+                let _ = writeln!(out, "{pad}ScopeJoin[{} dims]", dims.len());
+                facts.explain_into(out, depth + 1);
+                data.explain_into(out, depth + 1);
+            }
+            Plan::Cross { left, right } => {
+                let _ = writeln!(out, "{pad}Cross");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                let _ = writeln!(out, "{pad}Sort[{} keys]", keys.len());
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit[{n}]");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::aggregate::AggFunc;
+    use crate::schema::{Field, Schema};
+    use crate::value::{ColumnType, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::required("season", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec!["Winter".into(), 20.0.into()],
+                vec!["Winter".into(), 10.0.into()],
+                vec!["Summer".into(), 20.0.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn composed_plan_executes() {
+        let plan = Plan::values(table())
+            .filter(Expr::col(1).gt(Expr::lit(5.0)))
+            .aggregate(
+                vec![Expr::col(0)],
+                vec!["season".to_string()],
+                vec![AggItem::new(AggFunc::Avg, Expr::col(1), "avg_delay")],
+            )
+            .sort(vec![Expr::col(0)]);
+        let out = plan.execute().unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, 0), Value::str("Summer"));
+        assert_eq!(out.value(1, 1), Value::Float(15.0));
+    }
+
+    #[test]
+    fn shared_leaves_avoid_copies_until_execute() {
+        let shared = Arc::new(table());
+        let p1 = Plan::shared(shared.clone()).limit(1);
+        let p2 = Plan::shared(shared).distinct();
+        assert_eq!(p1.execute().unwrap().len(), 1);
+        assert_eq!(p2.execute().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn explain_shows_structure() {
+        let plan = Plan::values(table())
+            .filter(Expr::col(1).gt(Expr::lit(5.0)))
+            .limit(1);
+        let text = plan.explain();
+        assert!(text.contains("Limit[1]"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Values[3 rows"));
+    }
+
+    #[test]
+    fn cross_and_scope_join_nodes_execute() {
+        let left = Plan::values(table());
+        let right = Plan::values(table());
+        assert_eq!(left.clone().cross(right).execute().unwrap().len(), 9);
+
+        let facts_schema = Schema::new(vec![
+            Field::nullable("f_season", ColumnType::Str),
+            Field::required("value", ColumnType::Float),
+        ])
+        .unwrap();
+        let facts = Table::from_rows(
+            facts_schema,
+            vec![
+                vec![Value::Null, 15.0.into()],
+                vec!["Winter".into(), 15.0.into()],
+            ],
+        )
+        .unwrap();
+        let joined = Plan::values(facts)
+            .scope_join(Plan::values(table()), vec![(0, 0)])
+            .execute()
+            .unwrap();
+        // Unrestricted fact matches 3 rows + Winter fact matches 2 rows.
+        assert_eq!(joined.len(), 5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Table schemas: named, typed, nullable columns.
+
+use std::fmt;
+
+use crate::error::{RelalgError, Result};
+use crate::value::ColumnType;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Scalar type of the column.
+    pub ty: ColumnType,
+    /// Whether the column may contain NULLs.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn required(name: impl Into<String>, ty: ColumnType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, ty: ColumnType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of [`Field`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, field) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|other| other.name == field.name) {
+                return Err(RelalgError::Invalid {
+                    detail: format!("duplicate column name '{}'", field.name),
+                });
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Schema with no columns (the result of projecting nothing).
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at `index`.
+    pub fn field(&self, index: usize) -> Result<&Field> {
+        self.fields
+            .get(index)
+            .ok_or_else(|| RelalgError::ColumnNotFound {
+                column: format!("#{index}"),
+            })
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| RelalgError::ColumnNotFound {
+                column: name.to_string(),
+            })
+    }
+
+    /// Convenience: field for a column name.
+    pub fn field_by_name(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Concatenate two schemas (for joins / cross products), renaming
+    /// right-side duplicates with a `right.` prefix so names stay unique.
+    pub fn join(&self, right: &Schema) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        for field in &right.fields {
+            let mut field = field.clone();
+            if fields.iter().any(|f| f.name == field.name) {
+                field.name = format!("right.{}", field.name);
+            }
+            fields.push(field);
+        }
+        Schema::new(fields)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+            if field.nullable {
+                f.write_str("?")?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::required("region", ColumnType::Str),
+            Field::required("season", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn index_lookup() {
+        let schema = sample();
+        assert_eq!(schema.index_of("season").unwrap(), 1);
+        assert!(schema.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::required("a", ColumnType::Int),
+            Field::required("a", ColumnType::Str),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let left = sample();
+        let right = Schema::new(vec![
+            Field::required("delay", ColumnType::Float),
+            Field::required("count", ColumnType::Int),
+        ])
+        .unwrap();
+        let joined = left.join(&right).unwrap();
+        assert_eq!(joined.len(), 5);
+        assert!(joined.index_of("right.delay").is_ok());
+        assert!(joined.index_of("count").is_ok());
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("region: str"));
+        assert!(text.contains("delay: float"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Table statistics, the input to the cost model.
+//!
+//! The paper's pruning optimizer (§VI-C) estimates the number of facts in a
+//! fact group "by referring to query optimizer statistics. The number of
+//! facts simply equals the number of distinct value combinations in the
+//! dimension columns they restrict." These statistics are what this module
+//! computes: exact per-column distinct counts plus an estimator for the
+//! distinct count of column *combinations*.
+
+use crate::error::Result;
+use crate::hash::FxHashSet;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Exact number of distinct non-NULL values.
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub nulls: usize,
+    /// Minimum numeric value, when the column is numeric.
+    pub min: Option<f64>,
+    /// Maximum numeric value, when the column is numeric.
+    pub max: Option<f64>,
+}
+
+/// Statistics of a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: usize,
+    /// Per-column statistics in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute exact statistics for `table` in one pass per column.
+    pub fn compute(table: &Table) -> Result<Self> {
+        let mut columns = Vec::with_capacity(table.schema().len());
+        for col in 0..table.schema().len() {
+            let mut distinct: FxHashSet<Value> = FxHashSet::default();
+            let mut nulls = 0usize;
+            let mut min: Option<f64> = None;
+            let mut max: Option<f64> = None;
+            for row in 0..table.len() {
+                let value = table.value(row, col);
+                if value.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                if let Some(v) = value.as_f64() {
+                    min = Some(min.map_or(v, |m| m.min(v)));
+                    max = Some(max.map_or(v, |m| m.max(v)));
+                }
+                distinct.insert(value);
+            }
+            columns.push(ColumnStats {
+                distinct: distinct.len(),
+                nulls,
+                min,
+                max,
+            });
+        }
+        Ok(TableStats {
+            rows: table.len(),
+            columns,
+        })
+    }
+
+    /// Exact distinct count of the value combinations in `cols`.
+    ///
+    /// Fact-group sizes `M(g)` in the paper are exactly this quantity; we
+    /// compute it exactly because the tables fit in memory.
+    pub fn distinct_combinations(table: &Table, cols: &[usize]) -> Result<usize> {
+        let mut distinct: FxHashSet<Vec<Value>> = FxHashSet::default();
+        for row in 0..table.len() {
+            let combo: Vec<Value> = cols.iter().map(|&c| table.value(row, c)).collect();
+            distinct.insert(combo);
+        }
+        Ok(distinct.len())
+    }
+
+    /// Estimate the distinct count of a column combination from per-column
+    /// statistics alone (no data pass): the product of per-column distinct
+    /// counts, capped by the row count.
+    ///
+    /// This is the classic independence assumption; the pruning optimizer
+    /// uses it when a fresh data pass would defeat the purpose of pruning.
+    pub fn estimate_combinations(&self, cols: &[usize]) -> usize {
+        let mut product: usize = 1;
+        for &col in cols {
+            let distinct = self
+                .columns
+                .get(col)
+                .map(|c| c.distinct.max(1))
+                .unwrap_or(1);
+            product = product.saturating_mul(distinct);
+            if product >= self.rows {
+                return self.rows.max(1);
+            }
+        }
+        product.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::ColumnType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::required("region", ColumnType::Str),
+            Field::nullable("season", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                vec!["East".into(), "Winter".into(), 20.0.into()],
+                vec!["South".into(), "Winter".into(), 10.0.into()],
+                vec!["South".into(), Value::Null, 5.0.into()],
+                vec!["East".into(), "Summer".into(), 20.0.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn per_column_stats() {
+        let stats = TableStats::compute(&table()).unwrap();
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.columns[0].distinct, 2);
+        assert_eq!(stats.columns[1].distinct, 2);
+        assert_eq!(stats.columns[1].nulls, 1);
+        assert_eq!(stats.columns[2].min, Some(5.0));
+        assert_eq!(stats.columns[2].max, Some(20.0));
+        assert_eq!(stats.columns[0].min, None);
+    }
+
+    #[test]
+    fn exact_combinations() {
+        let t = table();
+        assert_eq!(TableStats::distinct_combinations(&t, &[0]).unwrap(), 2);
+        // (East,Winter), (South,Winter), (South,NULL), (East,Summer).
+        assert_eq!(TableStats::distinct_combinations(&t, &[0, 1]).unwrap(), 4);
+        // Empty combination: a single global group.
+        assert_eq!(TableStats::distinct_combinations(&t, &[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn estimated_combinations_capped_by_rows() {
+        let stats = TableStats::compute(&table()).unwrap();
+        assert_eq!(stats.estimate_combinations(&[0]), 2);
+        assert_eq!(stats.estimate_combinations(&[0, 1]), 4); // 2*2, == rows cap
+        assert_eq!(stats.estimate_combinations(&[]), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! Scalar values and their SQL-like semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{RelalgError, Result};
+
+/// The scalar types storable in a [`crate::table::Table`] column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ColumnType {
+    /// Boolean values.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit IEEE-754 floating point numbers.
+    Float,
+    /// UTF-8 strings (dictionary encoded in storage).
+    Str,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ColumnType::Bool => "bool",
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single scalar value, including SQL-style `NULL`.
+///
+/// `Value` implements *total* equality, ordering and hashing so it can be
+/// used directly as a grouping or join key: floats compare via
+/// [`f64::total_cmp`] and hash via their bit pattern, and `Null` is equal to
+/// `Null` (grouping semantics, as in SQL `GROUP BY`). Expression evaluation
+/// applies three-valued logic separately in [`crate::expr`].
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / missing value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff the value is `Null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The dynamic type of the value, or `None` for `Null`.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(ColumnType::Bool),
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Float(_) => Some(ColumnType::Float),
+            Value::Str(_) => Some(ColumnType::Str),
+        }
+    }
+
+    /// Numeric view of the value (ints widen to floats).
+    ///
+    /// Returns `None` for `Null` and non-numeric types.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view of the value.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view that errors (used by expression evaluation).
+    pub fn expect_numeric(&self, operation: &str) -> Result<f64> {
+        self.as_f64().ok_or_else(|| RelalgError::TypeMismatch {
+            operation: operation.to_string(),
+            found: self.type_name().to_string(),
+        })
+    }
+
+    /// Short name of the dynamic type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// True if the value is of (or coercible to) `ty`; `Null` fits any type.
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), ColumnType::Bool)
+                | (Value::Int(_), ColumnType::Int | ColumnType::Float)
+                | (Value::Float(_), ColumnType::Float)
+                | (Value::Str(_), ColumnType::Str)
+        )
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: Null < Bool < numeric < Str; ints and floats compare
+    /// numerically with each other.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Bool(_), _) => Ordering::Less,
+            (_, Bool(_)) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(*b as u8);
+            }
+            // Ints and floats that compare equal must hash equal, so hash
+            // every numeric through its f64 bit pattern.
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashMap;
+
+    #[test]
+    fn type_names_and_kinds() {
+        assert_eq!(Value::Null.column_type(), None);
+        assert_eq!(Value::from(1i64).column_type(), Some(ColumnType::Int));
+        assert_eq!(Value::from(1.5).column_type(), Some(ColumnType::Float));
+        assert_eq!(Value::str("x").column_type(), Some(ColumnType::Str));
+        assert_eq!(Value::from(true).column_type(), Some(ColumnType::Bool));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn cross_type_equal_values_hash_equal() {
+        let mut map: FxHashMap<Value, i32> = FxHashMap::default();
+        map.insert(Value::Int(3), 1);
+        assert_eq!(map.get(&Value::Float(3.0)), Some(&1));
+    }
+
+    #[test]
+    fn null_equals_null_for_grouping() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn ordering_is_total_across_types() {
+        let mut values = vec![
+            Value::str("z"),
+            Value::Float(2.5),
+            Value::Null,
+            Value::Int(7),
+            Value::Bool(false),
+            Value::str("a"),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Null,
+                Value::Bool(false),
+                Value::Float(2.5),
+                Value::Int(7),
+                Value::str("a"),
+                Value::str("z"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_is_orderable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn fits_allows_widening_and_null() {
+        assert!(Value::Int(1).fits(ColumnType::Float));
+        assert!(!Value::Float(1.0).fits(ColumnType::Int));
+        assert!(Value::Null.fits(ColumnType::Str));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::str("Winter").to_string(), "Winter");
+    }
+
+    #[test]
+    fn expect_numeric_reports_operation() {
+        let err = Value::str("x").expect_numeric("abs").unwrap_err();
+        assert!(err.to_string().contains("abs"));
+    }
+}

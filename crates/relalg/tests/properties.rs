@@ -1,0 +1,224 @@
+//! Property-based tests of the relational engine's invariants.
+
+use proptest::prelude::*;
+
+use vqs_relalg::csv::{read_csv, write_csv};
+use vqs_relalg::ops::aggregate::{aggregate, AggFunc, AggItem};
+use vqs_relalg::ops::join::{hash_join, scope_join, scope_join_nested_loop, JoinType};
+use vqs_relalg::ops::{distinct, filter, sort};
+use vqs_relalg::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000.0f64..1000.0).prop_map(|f| Value::Float((f * 4.0).round() / 4.0)),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec((0u8..4, -50i64..50, 0.0f64..100.0, "[a-c]{1,2}"), 0..40).prop_map(
+        |rows| {
+            let schema = Schema::new(vec![
+                Field::required("k", ColumnType::Int),
+                Field::required("v", ColumnType::Float),
+                Field::nullable("s", ColumnType::Str),
+            ])
+            .unwrap();
+            Table::from_rows(
+                schema,
+                rows.into_iter().map(|(kind, k, v, s)| {
+                    vec![
+                        Value::Int(k % 5),
+                        Value::Float(v.round()),
+                        if kind == 0 {
+                            Value::Null
+                        } else {
+                            Value::str(&s)
+                        },
+                    ]
+                }),
+            )
+            .unwrap()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Hash consistency: equal values hash equal.
+        if a == b {
+            use std::hash::{Hash, Hasher};
+            let h = |v: &Value| {
+                let mut hasher = vqs_relalg::hash::FxHasher::default();
+                v.hash(&mut hasher);
+                hasher.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(table in arb_table()) {
+        let mut buffer = Vec::new();
+        write_csv(&table, &mut buffer).unwrap();
+        let parsed = read_csv(buffer.as_slice(), table.schema().clone()).unwrap();
+        prop_assert_eq!(parsed.len(), table.len());
+        for (a, b) in table.iter_rows().zip(parsed.iter_rows()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn filter_partitions_rows(table in arb_table(), threshold in 0.0f64..100.0) {
+        let predicate = Expr::col(1).ge(Expr::lit(threshold));
+        let kept = filter(&table, &predicate).unwrap();
+        let dropped = filter(&table, &predicate.clone().not()).unwrap();
+        prop_assert_eq!(kept.len() + dropped.len(), table.len());
+        for row in kept.iter_rows() {
+            prop_assert!(row[1].as_f64().unwrap() >= threshold);
+        }
+    }
+
+    #[test]
+    fn sort_is_permutation_and_ordered(table in arb_table()) {
+        let sorted = sort(&table, &[Expr::col(1)]).unwrap();
+        prop_assert_eq!(sorted.len(), table.len());
+        let mut previous = f64::NEG_INFINITY;
+        for row in sorted.iter_rows() {
+            let v = row[1].as_f64().unwrap();
+            prop_assert!(v >= previous);
+            previous = v;
+        }
+        let mut a: Vec<String> = table.iter_rows().map(|r| format!("{r:?}")).collect();
+        let mut b: Vec<String> = sorted.iter_rows().map(|r| format!("{r:?}")).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_is_idempotent(table in arb_table()) {
+        let once = distinct(&table).unwrap();
+        let twice = distinct(&once).unwrap();
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert!(once.len() <= table.len());
+    }
+
+    #[test]
+    fn grouped_counts_sum_to_row_count(table in arb_table()) {
+        let grouped = aggregate(
+            &table,
+            &[Expr::col(0)],
+            &["k"],
+            &[AggItem::new(AggFunc::CountAll, Expr::col(0), "n")],
+        )
+        .unwrap();
+        let total: i64 = grouped.iter_rows().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, table.len());
+    }
+
+    #[test]
+    fn hash_join_matches_filtered_cross_product(left in arb_table(), right in arb_table()) {
+        let joined = hash_join(&left, &right, &[(0, 0)], JoinType::Inner).unwrap();
+        // Expected size: Σ over keys of count_left(k)·count_right(k).
+        let histogram = |t: &Table| {
+            let mut map = std::collections::HashMap::new();
+            for row in t.iter_rows() {
+                *map.entry(row[0].clone()).or_insert(0usize) += 1;
+            }
+            map
+        };
+        let lh = histogram(&left);
+        let rh = histogram(&right);
+        let expected: usize = lh
+            .iter()
+            .map(|(k, lc)| lc * rh.get(k).copied().unwrap_or(0))
+            .sum();
+        prop_assert_eq!(joined.len(), expected);
+    }
+
+    #[test]
+    fn scope_join_strategies_agree(facts_rows in prop::collection::vec((0u8..3, 0u8..3, 0.0f64..10.0), 0..12),
+                                   data_rows in prop::collection::vec((0u8..3, 0u8..3, 0.0f64..10.0), 0..20)) {
+        let fact_schema = Schema::new(vec![
+            Field::nullable("a", ColumnType::Str),
+            Field::nullable("b", ColumnType::Str),
+            Field::required("v", ColumnType::Float),
+        ])
+        .unwrap();
+        let data_schema = Schema::new(vec![
+            Field::required("a", ColumnType::Str),
+            Field::required("b", ColumnType::Str),
+            Field::required("y", ColumnType::Float),
+        ])
+        .unwrap();
+        // Encode code 0 as NULL on the fact side (unrestricted dimension).
+        let facts = Table::from_rows(
+            fact_schema,
+            facts_rows.into_iter().map(|(a, b, v)| {
+                let encode = |c: u8| {
+                    if c == 0 { Value::Null } else { Value::str(format!("x{c}")) }
+                };
+                vec![encode(a), encode(b), Value::Float(v)]
+            }),
+        )
+        .unwrap();
+        let data = Table::from_rows(
+            data_schema,
+            data_rows.into_iter().map(|(a, b, y)| {
+                vec![
+                    Value::str(format!("x{}", a.max(1))),
+                    Value::str(format!("x{}", b.max(1))),
+                    Value::Float(y),
+                ]
+            }),
+        )
+        .unwrap();
+        let fast = scope_join(&facts, &data, &[(0, 0), (1, 1)]).unwrap();
+        let slow = scope_join_nested_loop(&facts, &data, &[(0, 0), (1, 1)]).unwrap();
+        let canon = |t: &Table| {
+            let mut rows: Vec<String> = t.iter_rows().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(canon(&fast), canon(&slow));
+    }
+
+    #[test]
+    fn aggregate_avg_between_min_and_max(table in arb_table()) {
+        prop_assume!(!table.is_empty());
+        let out = aggregate(
+            &table,
+            &[],
+            &[],
+            &[
+                AggItem::new(AggFunc::Min, Expr::col(1), "lo"),
+                AggItem::new(AggFunc::Avg, Expr::col(1), "avg"),
+                AggItem::new(AggFunc::Max, Expr::col(1), "hi"),
+            ],
+        )
+        .unwrap();
+        let row = out.row(0);
+        let (lo, avg, hi) = (
+            row[0].as_f64().unwrap(),
+            row[1].as_f64().unwrap(),
+            row[2].as_f64().unwrap(),
+        );
+        prop_assert!(lo <= avg + 1e-9 && avg <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! # vqs-usersim — simulated users for the paper's studies
+//!
+//! §VIII-C/§VIII-E evaluate the approach on ~3,000 Amazon Mechanical Turk
+//! HITs and a 10-participant Zoom study. Humans being unavailable to a
+//! library build, this crate simulates them: [`worker::WorkerPool`] forms
+//! estimates under the closest-relevant-value model (the model Fig. 7
+//! found to fit real workers) plus noise, and [`ratings::Rater`] scores
+//! speeches on the Fig. 5/11 adjectives with sensitivities to quality,
+//! value ranges, redundancy and verbosity. [`studies`] packages the five
+//! study procedures (Figs. 5, 6, 7, 8, 11 and the ML comparison).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ratings;
+pub mod studies;
+pub mod worker;
+
+pub use ratings::{Adjective, Rater, SpeechProfile};
+pub use studies::{
+    compare_profiles, estimate_error, fig5, fig6, fig7, fig8, rank_random_speeches, Fig11Row,
+    Fig5Cell, Fig6Row, Fig7Row, Fig8Point, RankedSpeech,
+};
+pub use worker::{median, WorkerPool};

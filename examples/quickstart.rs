@@ -1,0 +1,67 @@
+//! Quickstart: summarize a small data set and answer a voice query.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use vqs_core::prelude::GreedySummarizer;
+use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Some data: flight delays by season and region.
+    let data = SynthSpec {
+        name: "demo-flights".to_string(),
+        dims: vec![
+            DimSpec::named("season", &["Spring", "Summer", "Fall", "Winter"]),
+            DimSpec::named("region", &["East", "South", "West", "North"]),
+        ],
+        targets: vec![TargetSpec::new("delay", 12.0, 8.0, 3.0, (0.0, 120.0))],
+        rows: 2_000,
+    }
+    .generate(42, 1.0);
+
+    // 2. A configuration: which columns may appear in queries, and which
+    //    column the speeches describe.
+    let config = Configuration::new("demo-flights", &["season", "region"], &["delay"]);
+
+    // 3. Pre-processing: one optimized speech per supported query.
+    let (store, report) = preprocess(
+        &data,
+        &config,
+        &GreedySummarizer::with_optimized_pruning(),
+        &PreprocessOptions::default(),
+    )?;
+    println!(
+        "pre-generated {} speeches for {} queries in {:?} ({:?} per query)",
+        report.speeches,
+        report.queries,
+        report.elapsed,
+        report.per_query()
+    );
+
+    // 4. Run time: voice queries resolve to pre-generated speeches.
+    let relation = target_relation(&data, &config, "delay")?;
+    let extractor = Extractor::from_relation(&relation, config.max_query_length)
+        .with_target_synonyms("delay", &["delays", "how late"]);
+    let mut session = VoiceSession::new(
+        &store,
+        extractor,
+        "Ask about delays by season or region, e.g. 'delays in Winter'.",
+    );
+    for utterance in [
+        "help",
+        "delays in Winter?",
+        "how late are flights in the North",
+    ] {
+        let response = session.respond(utterance);
+        println!("\nYou:    {utterance}");
+        println!("System: {}", response.text);
+        println!(
+            "        ({}; answered in {}us)",
+            response.request.label(),
+            response.latency_micros
+        );
+    }
+    Ok(())
+}

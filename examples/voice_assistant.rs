@@ -1,0 +1,74 @@
+//! A scripted voice-assistant session over the flights deployment,
+//! mirroring the paper's public Google-Assistant deployment (§VIII-D):
+//! pre-processing, a conversation, and a classified request log.
+//!
+//! ```text
+//! cargo run --release --example voice_assistant
+//! ```
+
+use vqs_core::prelude::GreedySummarizer;
+use vqs_engine::prelude::*;
+
+fn main() -> Result<()> {
+    let dataset = vqs_data::flights_spec().generate(vqs_data::DEFAULT_SEED, 0.05);
+    let dims: Vec<&str> = dataset.dims.iter().map(String::as_str).collect();
+    let config = Configuration::new("flights", &dims, &["cancelled"]);
+
+    let mut options = PreprocessOptions::default();
+    options.templates.insert(
+        "cancelled".to_string(),
+        SpeechTemplate::per_mille("cancellation probability", "flights"),
+    );
+    let (store, report) = preprocess(
+        &dataset,
+        &config,
+        &GreedySummarizer::with_optimized_pruning(),
+        &options,
+    )?;
+    println!(
+        "deployment ready: {} speeches pre-generated in {:?}\n",
+        report.speeches, report.elapsed
+    );
+
+    let relation = target_relation(&dataset, &config, "cancelled")?;
+    let extractor = Extractor::from_relation(&relation, config.max_query_length)
+        .with_target_synonyms("cancelled", &["cancellations", "cancellation probability"])
+        .with_unavailable_markers(&["flight"]);
+    // The extremum/comparison extension answers the §VIII-D "U-Query"
+    // shapes from a pre-computed index.
+    let index = ExtremumIndex::build(&relation, "cancellation probability");
+    let mut session = VoiceSession::new(
+        &store,
+        extractor.clone(),
+        "Ask about flight cancellations, e.g. 'cancellations in Winter'.",
+    )
+    .with_extensions(index);
+
+    // A short conversation, including the Example 5 query.
+    for utterance in [
+        "help",
+        "cancellations in Winter?",
+        "repeat that",
+        "cancellations in Winter on Mon in the evening",
+        "which airline has the most cancellations",
+        "cancellations of flight UA one twenty three",
+        "thanks!",
+    ] {
+        let response = session.respond(utterance);
+        println!("You:    {utterance}");
+        println!("System: {} [{}]\n", response.text, response.request.label());
+    }
+
+    // Replay the §VIII-D deployment log and tabulate it (Table III).
+    let mix = TABLE3[1]; // the flights column
+    let log = generate_log(&relation, "cancellations", &mix, 7);
+    let counts = tabulate(&extractor, &log);
+    println!("last {} requests classified:", log.len());
+    for (label, count) in ["Help", "Repeat", "S-Query", "U-Query", "Other"]
+        .iter()
+        .zip(counts)
+    {
+        println!("  {label:8} {count}");
+    }
+    Ok(())
+}

@@ -1,0 +1,242 @@
+//! End-to-end integration: data set → configuration → parallel
+//! pre-processing → speech store → text-to-query extraction → voice
+//! session, plus the deployment-log classification pipeline — the whole
+//! Fig. 2 system in one test file.
+
+use vqs_baseline::sampling::{vocalize, SamplingConfig};
+use vqs_core::prelude::*;
+use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+
+fn dataset() -> vqs_data::GeneratedDataset {
+    SynthSpec {
+        name: "e2e-flights".to_string(),
+        dims: vec![
+            DimSpec::named("season", &["Spring", "Summer", "Fall", "Winter"]),
+            DimSpec::named("region", &["East", "South", "West", "North"]),
+            DimSpec::synthetic("airline", "airline", 5, 0.5),
+        ],
+        targets: vec![
+            TargetSpec::new("cancelled", 60.0, 25.0, 10.0, (0.0, 1000.0))
+                .with_dim_weights(&[1.0, 0.4, 0.7]),
+        ],
+        rows: 1_500,
+    }
+    .generate(0xE2E, 1.0)
+}
+
+fn config() -> Configuration {
+    Configuration::new(
+        "e2e-flights",
+        &["season", "region", "airline"],
+        &["cancelled"],
+    )
+}
+
+#[test]
+fn preprocess_and_answer_with_every_summarizer() {
+    let data = dataset();
+    let config = config();
+    let summarizers: Vec<Box<dyn Summarizer + Sync>> = vec![
+        Box::new(GreedySummarizer::base()),
+        Box::new(GreedySummarizer::with_naive_pruning()),
+        Box::new(GreedySummarizer::with_optimized_pruning()),
+    ];
+    let mut utilities: Vec<f64> = Vec::new();
+    for summarizer in &summarizers {
+        let (store, report) = preprocess(
+            &data,
+            &config,
+            summarizer.as_ref(),
+            &PreprocessOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.queries, report.speeches);
+        assert!(store.len() > 20);
+        // The overall query must always be answerable.
+        let overall = store.get(&Query::of("cancelled", &[])).unwrap();
+        assert!(overall.utility >= 0.0);
+        assert!(!overall.text.is_empty());
+        utilities.push(overall.utility);
+    }
+    // All greedy variants agree on the selected utility.
+    assert!((utilities[0] - utilities[1]).abs() < 1e-9);
+    assert!((utilities[0] - utilities[2]).abs() < 1e-9);
+}
+
+#[test]
+fn stored_speeches_respect_configuration_limits() {
+    let data = dataset();
+    let mut config = config();
+    config.speech_length = 2;
+    config.max_fact_dimensions = 1;
+    let (store, _) = preprocess(
+        &data,
+        &config,
+        &GreedySummarizer::with_optimized_pruning(),
+        &PreprocessOptions::default(),
+    )
+    .unwrap();
+    for query in store.queries() {
+        let speech = store.get(&query).unwrap();
+        assert!(speech.facts.len() <= 2, "{query}");
+        for fact in &speech.facts {
+            assert!(fact.scope.len() <= 1, "{query}: {:?}", fact.scope);
+            // Fact scopes never repeat a query predicate's dimension.
+            for (dim, _) in &fact.scope {
+                assert!(
+                    !query.predicates().iter().any(|(qd, _)| qd == dim),
+                    "{query} fact restricts fixed dimension {dim}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn voice_session_round_trip() {
+    let data = dataset();
+    let config = config();
+    let mut options = PreprocessOptions::default();
+    options.templates.insert(
+        "cancelled".to_string(),
+        SpeechTemplate::per_mille("cancellation probability", "flights"),
+    );
+    let (store, _) = preprocess(
+        &data,
+        &config,
+        &GreedySummarizer::with_optimized_pruning(),
+        &options,
+    )
+    .unwrap();
+    let relation = target_relation(&data, &config, "cancelled").unwrap();
+    let extractor = Extractor::from_relation(&relation, config.max_query_length)
+        .with_target_synonyms("cancelled", &["cancellations"]);
+    let mut session = VoiceSession::new(&store, extractor, "Ask about cancellations.");
+
+    // Example 5's query shape works end to end.
+    let response = session.respond("cancellations in Winter?");
+    assert!(matches!(response.request, Request::Query(_)));
+    assert!(response.text.contains("For season Winter"));
+    assert!(response.text.contains("out of 1000 flights"));
+
+    // Three predicates exceed the pre-processed query length: the store
+    // falls back to the most specific generalization (§III).
+    let response = session.respond("cancellations in Winter in the East on airline0");
+    assert!(response.speaking_secs > 0.0);
+    assert!(!response.text.is_empty());
+
+    // Repeat replays verbatim.
+    let repeated = session.respond("repeat");
+    assert_eq!(repeated.text, response.text);
+}
+
+#[test]
+fn fallback_lookup_prefers_most_specific_generalization() {
+    let data = dataset();
+    let config = config();
+    let (store, _) = preprocess(
+        &data,
+        &config,
+        &GreedySummarizer::base(),
+        &PreprocessOptions::default(),
+    )
+    .unwrap();
+    // A three-predicate query was never pre-processed (max length 2).
+    let query = Query::of(
+        "cancelled",
+        &[
+            ("season", "Winter"),
+            ("region", "East"),
+            ("airline", "airline0"),
+        ],
+    );
+    match store.lookup(&query) {
+        Lookup::Generalized {
+            speech,
+            kept_predicates,
+        } => {
+            assert_eq!(kept_predicates, 2);
+            // The served speech's predicates are a subset of the query's.
+            for predicate in speech.query.predicates() {
+                assert!(query.predicates().contains(predicate));
+            }
+        }
+        other => panic!("expected generalized lookup, got {other:?}"),
+    }
+}
+
+#[test]
+fn baseline_answers_same_queries_with_ranges() {
+    let data = dataset();
+    let config = config();
+    let relation = target_relation(&data, &config, "cancelled").unwrap();
+    let items = enumerate_queries(&relation, &config, "cancelled");
+    let winter = items
+        .iter()
+        .find(|i| i.query.predicates() == [("season".to_string(), "Winter".to_string())])
+        .unwrap();
+    let subset = relation.subset(&winter.rows).unwrap();
+    let result = vocalize(
+        &subset,
+        &[1, 2],
+        2,
+        &SamplingConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!result.facts.is_empty());
+    assert!(result.text.contains("between"));
+    assert!(result.latency <= result.total);
+}
+
+#[test]
+fn deployment_log_pipeline_matches_table3() {
+    let data = dataset();
+    let config = config();
+    let relation = target_relation(&data, &config, "cancelled").unwrap();
+    let extractor = Extractor::from_relation(&relation, config.max_query_length)
+        .with_target_synonyms("cancelled", &["cancellations"])
+        .with_unavailable_markers(&["flight"]);
+    for (i, mix) in TABLE3.iter().enumerate() {
+        let log = generate_log(&relation, "cancellations", mix, 900 + i as u64);
+        let counts = tabulate(&extractor, &log);
+        assert_eq!(
+            counts,
+            [mix.help, mix.repeat, mix.s_query, mix.u_query, mix.other],
+            "{}",
+            mix.name
+        );
+    }
+}
+
+#[test]
+fn parallel_preprocessing_is_deterministic() {
+    let data = dataset();
+    let config = config();
+    let run = |workers: usize| {
+        let (store, _) = preprocess(
+            &data,
+            &config,
+            &GreedySummarizer::with_optimized_pruning(),
+            &PreprocessOptions {
+                workers,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut texts: Vec<(String, String)> = store
+            .queries()
+            .into_iter()
+            .map(|q| (q.to_string(), store.get(&q).unwrap().text))
+            .collect();
+        texts.sort();
+        texts
+    };
+    assert_eq!(run(1), run(8));
+}

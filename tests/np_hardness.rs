@@ -1,0 +1,138 @@
+//! The Theorem 4 reduction, executed: set cover instances decided through
+//! speech summarization, cross-checked against a direct set-cover solver
+//! on randomized instances.
+
+use proptest::prelude::*;
+
+use vqs_core::complexity::{decide_cover_via_summarization, reduce, SetCoverInstance};
+use vqs_core::prelude::*;
+
+/// Direct brute-force set cover decision (the oracle).
+fn cover_exists(instance: &SetCoverInstance, m: usize) -> bool {
+    let k = instance.subsets.len();
+    let m = m.min(k);
+    fn search(
+        instance: &SetCoverInstance,
+        m: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        if instance.is_cover(chosen) {
+            return true;
+        }
+        if chosen.len() == m {
+            return false;
+        }
+        for i in start..instance.subsets.len() {
+            chosen.push(i);
+            if search(instance, m, i + 1, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+    search(instance, m, 0, &mut Vec::new())
+}
+
+fn arb_instance() -> impl Strategy<Value = SetCoverInstance> {
+    (3usize..7, 2usize..6).prop_flat_map(|(universe, subsets)| {
+        prop::collection::vec(
+            prop::collection::vec(0usize..universe, 1..universe),
+            subsets..=subsets,
+        )
+        .prop_map(move |mut family| {
+            for subset in &mut family {
+                subset.sort_unstable();
+                subset.dedup();
+            }
+            SetCoverInstance::new(universe, family).expect("elements in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduction_decides_set_cover((instance, m) in (arb_instance(), 1usize..4)) {
+        let via_summarization = decide_cover_via_summarization(&instance, m).unwrap();
+        let direct = cover_exists(&instance, m);
+        prop_assert_eq!(via_summarization, direct);
+    }
+
+    #[test]
+    fn reduction_facts_cover_exactly_their_subsets(instance in arb_instance()) {
+        let reduction = reduce(&instance).unwrap();
+        for (s, fact) in reduction.facts.iter().enumerate() {
+            for row in 0..reduction.relation.len() {
+                prop_assert_eq!(
+                    fact.scope.matches_row(&reduction.relation, row),
+                    instance.subsets[s].contains(&row)
+                );
+            }
+            // Typical value is 1 (all targets are 1).
+            prop_assert_eq!(fact.value, 1.0);
+        }
+        // Base error equals the universe size: every row deviates by one.
+        prop_assert_eq!(base_error(&reduction.relation), instance.universe_size as f64);
+    }
+}
+
+#[test]
+fn greedy_on_reduction_is_greedy_set_cover() {
+    // On the reduction, greedy fact selection is exactly the classic
+    // greedy set-cover heuristic: each step picks the subset covering the
+    // most uncovered elements.
+    let instance = SetCoverInstance::new(
+        6,
+        vec![
+            vec![0, 1, 2, 3],
+            vec![0, 1],
+            vec![2, 3],
+            vec![4],
+            vec![4, 5],
+        ],
+    )
+    .unwrap();
+    let reduction = reduce(&instance).unwrap();
+    let mut residual = ResidualState::new(&reduction.relation);
+    let mut covered: Vec<usize> = Vec::new();
+    for _ in 0..3 {
+        let (best, gain) = reduction
+            .facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i, residual.gain_of(&reduction.relation, f)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        // Gain equals the number of newly covered elements.
+        let newly: usize = instance.subsets[best]
+            .iter()
+            .filter(|e| !covered.contains(e))
+            .count();
+        assert_eq!(gain, newly as f64);
+        residual.apply_fact(&reduction.relation, &reduction.facts[best]);
+        covered.extend(instance.subsets[best].iter().copied());
+    }
+    // Greedy picks {0,1,2,3}, then {4,5} — a full cover in two steps plus
+    // a zero-gain third step.
+    covered.sort_unstable();
+    covered.dedup();
+    assert_eq!(covered, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn reduction_scales_polynomially() {
+    // Theorem 4's reduction is polynomial: relation size is
+    // universe × subsets, one fact per subset.
+    let instance = SetCoverInstance::new(
+        20,
+        (0..10).map(|s| (s..20).step_by(s + 1).collect()).collect(),
+    )
+    .unwrap();
+    let reduction = reduce(&instance).unwrap();
+    assert_eq!(reduction.relation.len(), 20);
+    assert_eq!(reduction.relation.dim_count(), 10);
+    assert_eq!(reduction.facts.len(), 10);
+}
