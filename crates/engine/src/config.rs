@@ -38,7 +38,7 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Pre-processing configuration for one data set.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Configuration {
     /// Data set / table name (informational).
     pub table: String,

@@ -7,7 +7,7 @@
 //! target column for the data subset defined by the query predicates."
 //!
 //! Pre-processing is embarrassingly parallel across queries; the batch
-//! runner fans work items out over crossbeam scoped threads.
+//! runner fans work items out over `std::thread::scope` threads.
 
 use std::time::{Duration, Instant};
 
@@ -224,12 +224,12 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
         let workers = options.workers.max(1).min(items.len().max(1));
         let chunk_size = items.len().div_ceil(workers);
         let results: Vec<Result<Vec<(StoredSpeech, Instrumentation)>>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for chunk in items.chunks(chunk_size.max(1)) {
                     let relation = &relation;
                     let template = &template;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         chunk
                             .iter()
                             .map(|item| solve_item(relation, config, summarizer, template, item))
@@ -240,8 +240,7 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
-            })
-            .expect("crossbeam scope");
+            });
 
         for worker_result in results {
             for (speech, counters) in worker_result? {

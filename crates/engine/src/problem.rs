@@ -9,7 +9,7 @@ use std::fmt;
 ///
 /// Predicates are kept sorted by dimension name so structurally equal
 /// queries compare and hash equal.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     target: String,
     predicates: Vec<(String, String)>,
@@ -101,7 +101,7 @@ impl fmt::Display for Query {
 
 /// A fact with its scope resolved to column/value names — the stored,
 /// relation-independent form of a selected fact.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NamedFact {
     /// `(dimension, value)` pairs of the scope (empty = overall).
     pub scope: Vec<(String, String)>,
@@ -128,7 +128,7 @@ impl NamedFact {
 }
 
 /// A pre-generated speech answer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredSpeech {
     /// The query this speech answers.
     pub query: Query,

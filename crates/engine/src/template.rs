@@ -10,7 +10,7 @@
 use crate::problem::{NamedFact, Query};
 
 /// How target values are phrased.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ValueStyle {
     /// "about 12.3 `<unit>`" (e.g. minutes).
     Unit(String),
@@ -23,7 +23,7 @@ pub enum ValueStyle {
 }
 
 /// A speech template for one target column.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeechTemplate {
     /// Spoken name of the target ("cancellation probability").
     pub target_phrase: String,

@@ -1,0 +1,47 @@
+//! Workspace smoke test: the Fig. 1 running example from the `vqs-core`
+//! crate docs (Winter/Summer × East/South flight delays), exercised
+//! through the integration layer so that a regression in the doctest's
+//! API surface fails here too.
+
+use vqs_core::prelude::*;
+
+#[test]
+fn fig1_running_example_yields_a_nonempty_optimal_fact_set() {
+    // Mirrors the example block in crates/core/src/lib.rs.
+    let relation = EncodedRelation::from_rows(
+        &["season", "region"],
+        "delay",
+        vec![
+            (vec!["Winter", "East"], 20.0),
+            (vec!["Winter", "South"], 10.0),
+            (vec!["Summer", "South"], 20.0),
+            (vec!["Summer", "East"], 0.0),
+        ],
+        Prior::Constant(0.0),
+    )
+    .unwrap();
+
+    let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+    let problem = Problem::new(&relation, &catalog, 2).unwrap();
+
+    let greedy = GreedySummarizer::with_optimized_pruning()
+        .summarize(&problem)
+        .unwrap();
+    assert!(
+        !greedy.speech.is_empty(),
+        "greedy summary must select at least one fact"
+    );
+    assert!(greedy.utility > 0.0, "facts must improve on the prior");
+
+    // The exact solver agrees this instance has a useful summary, and
+    // greedy respects its (1 - 1/e) guarantee on it.
+    let exact = ExactSummarizer::paper().summarize(&problem).unwrap();
+    assert!(!exact.speech.is_empty());
+    assert!(exact.utility + 1e-9 >= greedy.utility);
+    assert!(greedy.utility >= (1.0 - (-1.0f64).exp()) * exact.utility - 1e-9);
+
+    // Every selected fact stays within the configured scope budget.
+    for fact in greedy.speech.facts() {
+        assert!(fact.scope.len() <= 2);
+    }
+}

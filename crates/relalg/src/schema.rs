@@ -6,7 +6,7 @@ use crate::error::{RelalgError, Result};
 use crate::value::ColumnType;
 
 /// One column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name, unique within a schema.
     pub name: String,
@@ -37,7 +37,7 @@ impl Field {
 }
 
 /// An ordered list of [`Field`]s.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }

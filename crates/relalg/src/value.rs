@@ -8,7 +8,7 @@ use std::sync::Arc;
 use crate::error::{RelalgError, Result};
 
 /// The scalar types storable in a [`crate::table::Table`] column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// Boolean values.
     Bool,

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! implements the `criterion` API subset the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Instead of criterion's statistical machinery it reports the
+//! median wall-clock time per iteration over a fixed number of samples —
+//! enough for the repo's perf harnesses to compile, run, and give
+//! directional numbers.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim treats every
+/// variant as "one setup per measured batch".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_count: usize,
+    target_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_count: 20,
+            target_time: Duration::from_millis(400),
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &self.settings, &mut routine);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// A group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_count = samples.max(1);
+        self
+    }
+
+    /// Overrides the per-sample time budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.target_time = time;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, &self.settings, &mut routine);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, routine: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        settings: settings.clone(),
+    };
+    routine(&mut bencher);
+    bencher.report(name);
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    settings: Settings,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iterations per sample so a sample
+    /// lasts long enough to be measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch geometrically to ~1/10 of a sample,
+        // then scale it linearly so each sample spends the full
+        // per-sample share of `target_time`.
+        let mut batch = 1u64;
+        let per_sample =
+            self.settings.target_time.as_nanos() as u64 / self.settings.sample_count.max(1) as u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = (start.elapsed().as_nanos() as u64).max(1);
+            if elapsed * 10 >= per_sample || batch >= 1 << 20 {
+                if elapsed < per_sample {
+                    batch = (batch * per_sample / elapsed).clamp(batch, 1 << 24);
+                }
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.settings.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is not
+    /// measured. Batches several inputs per timed sample so the timer's
+    /// own overhead does not dominate nanosecond-scale routines.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let batch: u32 = match size {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        };
+        for _ in 0..self.settings.sample_count {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let (lo, hi) = (self.samples[0], *self.samples.last().unwrap());
+        println!(
+            "{name:<40} median {:>12} (min {}, max {}, {} samples)",
+            format_ns(median),
+            format_ns(lo),
+            format_ns(hi),
+            self.samples.len()
+        );
+    }
+}
+
+fn format_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups; ignores harness CLI flags
+/// (`--bench`, filters) that cargo passes through.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench invokes the binary with flags such as --bench;
+            // the shim benchmarks everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(3));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,680 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! implements the `proptest` API subset the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, ranges and tuples as
+//! strategies, `Just`, `any`, `prop_oneof!`, character-class string
+//! strategies (`"[a-z]{0,6}"`), and `prop::collection::{vec, btree_map}`.
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the
+//! failure report carries the deterministic seed and case index instead —
+//! and each test runs a fixed number of cases (default
+//! [`ProptestConfig::DEFAULT_CASES`], override with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a deterministic seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Error raised inside a property body: a genuine failure
+/// (`prop_assert!`) or a rejected case (`prop_assume!`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for the generated input.
+    Fail(String),
+    /// The generated input does not satisfy a precondition; the case is
+    /// skipped without counting as a failure.
+    Reject(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+            TestCaseError::Reject(message) => write!(f, "rejected: {message}"),
+        }
+    }
+}
+
+/// Result type property bodies evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Default number of cases per property.
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: Self::DEFAULT_CASES,
+        }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking;
+/// a strategy simply draws a value from the runner's RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy for storage in heterogeneous collections.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`), cheap to clone.
+pub struct BoxedStrategy<V>(Rc<dyn ErasedStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+trait ErasedStrategy<V> {
+    fn generate_erased(&self, runner: &mut TestRunner) -> V;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn generate_erased(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        self.0.generate_erased(runner)
+    }
+}
+
+/// Strategy always yielding a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally-weighted boxed strategies
+/// (backs the [`prop_oneof!`] macro).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let i = runner.rng().gen_range(0..self.options.len());
+        self.options[i].generate(runner)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `&str` acts as a character-class pattern strategy: a sequence of
+/// `[a-z]`-style classes or literal characters, each optionally followed
+/// by `{n}` or `{m,n}`. This covers patterns like `"[a-z]{0,6}"`;
+/// unsupported regex syntax panics at generation time.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        generate_from_pattern(self, runner)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                    set.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"\\^$.|?*+()".contains(c),
+                "unsupported regex syntax {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+
+        // Parse an optional {n} / {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad repetition bound"),
+                    n.trim().parse::<usize>().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repetition bound");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let count = runner.rng().gen_range(lo..=hi);
+        for _ in 0..count {
+            let k = runner.rng().gen_range(0..alphabet.len());
+            out.push(alphabet[k]);
+        }
+    }
+    out
+}
+
+/// Strategy for "any value of `T`" (backs [`any`]).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Returns the standard strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Types with a standard unconstrained strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng().gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.rng().gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! arbitrary_float {
+    ($($t:ty => $bits:ty),*) => {$(
+        impl Arbitrary for $t {
+            /// Full-domain floats from uniform bit patterns — negatives,
+            /// huge/tiny magnitudes, subnormals, and infinities all occur
+            /// (as in upstream proptest). NaN payloads collapse to 0.0 so
+            /// properties using `==`/ordering stay meaningful.
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                let value = <$t>::from_bits(runner.rng().gen::<$bits>());
+                if value.is_nan() {
+                    0.0
+                } else {
+                    value
+                }
+            }
+        }
+    )*};
+}
+arbitrary_float!(f32 => u32, f64 => u64);
+
+/// Collection strategies (`prop::collection::vec` and friends).
+pub mod collection {
+    use super::*;
+
+    /// Sizes acceptable for collection strategies: `n`, `m..n`, `m..=n`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _runner: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with *up to* `size`
+    /// entries (duplicate keys collapse, as in upstream proptest).
+    pub fn btree_map<K, V, Z>(keys: K, values: V, size: Z) -> BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    /// Strategy produced by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, Z> {
+        keys: K,
+        values: V,
+        size: Z,
+    }
+
+    impl<K, V, Z> Strategy for BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            (0..n)
+                .map(|_| (self.keys.generate(runner), self.values.generate(runner)))
+                .collect()
+        }
+    }
+}
+
+/// Runs `cases` random executions of `body`, panicking with the seed and
+/// case index on the first failure. Called by the [`proptest!`] macro.
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRunner) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        // Deterministic per-test seed: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        seed = seed.wrapping_add(case as u64);
+        let mut runner = TestRunner::from_seed(seed);
+        match body(&mut runner) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property `{name}` failed at case {case}/{} (seed {seed:#x}): {message}",
+                config.cases
+            ),
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not the process) so the harness can report seed and case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Skips the current case when a generated input fails a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests. Each function body runs for a configurable
+/// number of random cases (see [`ProptestConfig`]); generated arguments
+/// bind the patterns on the left of `in` to draws from the strategy on
+/// the right.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(&config, concat!(module_path!(), "::", stringify!($name)), |runner| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), runner);)+
+                    (move || -> $crate::TestCaseResult { $body Ok(()) })()
+                });
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        TestRunner,
+    };
+
+    /// Alias so `prop::collection::vec(...)` paths resolve, as in
+    /// upstream proptest's prelude.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_respects_class_and_bounds() {
+        let mut runner = TestRunner::from_seed(9);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,2}", &mut runner);
+            assert!((1..=2).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::generate(&"[a-z]{0,6}", &mut runner);
+            assert!(t.len() <= 6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_collections(
+            xs in prop::collection::vec(0i64..10, 0..8),
+            m in prop::collection::btree_map(0usize..4, 0u32..3, 0..5),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| (0..10).contains(&x)));
+            prop_assert!(m.len() < 5);
+            let picked = if flag { xs.len() } else { m.len() };
+            prop_assert!(picked < 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn oneof_map_and_flat_map(v in prop_oneof![Just(1i32), 10i32..20], (n, ys) in
+            (1usize..4).prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..5, n..=n)))) {
+            prop_assert!(v == 1 || (10..20).contains(&v));
+            prop_assert_eq!(ys.len(), n);
+        }
+    }
+}
