@@ -28,12 +28,30 @@ fn bench_lookup(c: &mut Criterion) {
         ],
     );
 
+    // A query on a target that was never pre-processed: the secondary
+    // index rejects it after a single probe.
+    let miss = Query::of("satisfaction", &[("season", "Winter")]);
+
     let mut group = c.benchmark_group("store_lookup");
     group.bench_function("exact_hit", |b| b.iter(|| store.lookup(&exact)));
     group.bench_function("generalization_fallback", |b| {
         b.iter(|| store.lookup(&fallback))
     });
+    group.bench_function("miss_unknown_target", |b| b.iter(|| store.lookup(&miss)));
     group.finish();
+
+    // Directional evidence that the fallback is index-driven, not a
+    // subset walk: report probes-per-lookup for the fallback query.
+    store.reset_stats();
+    let _ = store.lookup(&fallback);
+    let stats = store.stats();
+    println!(
+        "store_lookup/fallback_probes            {} probes over {} stored speeches \
+         ({} subsets would be walked unindexed)",
+        stats.probes,
+        store.len(),
+        1u64 << fallback.len()
+    );
 }
 
 criterion_group!(benches, bench_lookup);

@@ -25,6 +25,12 @@ pub struct Instrumentation {
     pub nodes_pruned: u64,
     /// Complete speeches whose exact utility was evaluated.
     pub speeches_evaluated: u64,
+    /// Run-time speech-store lookups served.
+    pub store_lookups: u64,
+    /// Hash probes issued by the speech store (exact probe plus indexed
+    /// generalization candidates; a full-map scan would show up here as a
+    /// probe count proportional to the store size).
+    pub store_probes: u64,
 }
 
 impl Instrumentation {
@@ -38,6 +44,8 @@ impl Instrumentation {
         self.nodes_expanded += other.nodes_expanded;
         self.nodes_pruned += other.nodes_pruned;
         self.speeches_evaluated += other.speeches_evaluated;
+        self.store_lookups += other.store_lookups;
+        self.store_probes += other.store_probes;
     }
 
     /// Total row touches across gain and bound passes.
@@ -61,6 +69,8 @@ mod tests {
             gain_row_touches: 5,
             bound_row_touches: 7,
             groups_pruned: 2,
+            store_lookups: 3,
+            store_probes: 9,
             ..Default::default()
         };
         a.merge(&b);
@@ -68,5 +78,21 @@ mod tests {
         assert_eq!(a.bound_row_touches, 7);
         assert_eq!(a.groups_pruned, 2);
         assert_eq!(a.total_row_touches(), 22);
+        assert_eq!(a.store_lookups, 3);
+        assert_eq!(a.store_probes, 9);
+    }
+
+    #[test]
+    fn store_counters_accumulate_independently() {
+        let mut a = Instrumentation {
+            store_lookups: 1,
+            store_probes: 4,
+            ..Default::default()
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.store_lookups, 2);
+        assert_eq!(a.store_probes, 8);
+        // Store counters do not leak into the data-processing totals.
+        assert_eq!(a.total_row_touches(), 0);
     }
 }

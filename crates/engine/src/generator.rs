@@ -6,14 +6,25 @@
 //! For each such query, we generate a speech summarizing values in the
 //! target column for the data subset defined by the query predicates."
 //!
-//! Pre-processing is embarrassingly parallel across queries; the batch
-//! runner fans work items out over `std::thread::scope` threads.
+//! Pre-processing is embarrassingly parallel across queries. The batch
+//! runner flattens every (target, query) pair into one job list and
+//! fans workers out over a shared atomic work queue: each worker steals
+//! the next unclaimed job index, so an expensive problem never leaves a
+//! whole static chunk idle behind it. Results are re-ordered by job
+//! index before they touch the store, which makes the output (and the
+//! merged [`Instrumentation`] totals) independent of the worker count.
+//!
+//! [`refresh`] is the delta path for streaming updates: it recomputes
+//! only the queries whose data subset changed, keeps every other stored
+//! speech pointer-stable, and drops queries whose value combination
+//! disappeared from the data.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use vqs_core::prelude::*;
 use vqs_data::GeneratedDataset;
-use vqs_relalg::hash::FxHashMap;
+use vqs_relalg::hash::{FxHashMap, FxHashSet};
 
 use crate::config::Configuration;
 use crate::error::{EngineError, Result};
@@ -61,7 +72,8 @@ pub struct PreprocessReport {
     pub speeches: usize,
     /// Wall-clock time of the whole batch.
     pub elapsed: Duration,
-    /// Summed work counters across all problems.
+    /// Summed work counters across all problems, merged in job order
+    /// from the per-worker partials.
     pub instrumentation: Instrumentation,
 }
 
@@ -74,6 +86,24 @@ impl PreprocessReport {
             self.elapsed / self.queries as u32
         }
     }
+}
+
+/// Aggregate report of one [`refresh`] run.
+#[derive(Debug, Clone)]
+pub struct RefreshReport {
+    /// Queries enumerated over the new data (across all targets).
+    pub queries: usize,
+    /// Queries whose speech was recomputed.
+    pub recomputed: usize,
+    /// Queries whose stored speech was kept untouched.
+    pub kept: usize,
+    /// Stored queries removed because their value combination no longer
+    /// occurs in the data.
+    pub removed: usize,
+    /// Wall-clock time of the whole refresh.
+    pub elapsed: Duration,
+    /// Summed work counters of the recomputed problems only.
+    pub instrumentation: Instrumentation,
 }
 
 /// Build the per-target relation with the paper's prior: "the average
@@ -197,8 +227,130 @@ pub fn solve_item<S: Summarizer + ?Sized>(
     ))
 }
 
-/// Run the full pre-processing batch: every target, every query, in
-/// parallel. Returns the populated speech store and a report.
+/// The fully-prepared pre-processing input for one target.
+struct TargetPlan {
+    target: String,
+    relation: EncodedRelation,
+    template: SpeechTemplate,
+    items: Vec<WorkItem>,
+    /// Global target average, the §III constant prior.
+    prior: f64,
+}
+
+/// Validate columns and enumerate the work for every configured target.
+fn build_plans(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    options: &PreprocessOptions,
+) -> Result<Vec<TargetPlan>> {
+    config
+        .targets
+        .iter()
+        .map(|target| {
+            let relation = target_relation(dataset, config, target)?;
+            let items = enumerate_queries(&relation, config, target);
+            let template = options
+                .templates
+                .get(target)
+                .cloned()
+                .unwrap_or_else(|| SpeechTemplate::plain(target));
+            let prior = relation.target_mean();
+            Ok(TargetPlan {
+                target: target.clone(),
+                relation,
+                template,
+                items,
+                prior,
+            })
+        })
+        .collect()
+}
+
+/// Run the given `(plan, item)` jobs over a work-stealing worker pool.
+///
+/// Workers claim job indexes from a shared atomic counter, so load
+/// balances across targets and across skewed per-query costs without
+/// static chunking. Each worker accumulates results locally; the merged
+/// output is sorted back into job order, making it — and therefore the
+/// store contents and instrumentation totals — deterministic in the
+/// worker count. On failure the error of the smallest reported job index
+/// wins and the remaining workers stop early.
+fn run_jobs<S: Summarizer + Sync + ?Sized>(
+    plans: &[TargetPlan],
+    jobs: &[(usize, usize)],
+    config: &Configuration,
+    summarizer: &S,
+    workers: usize,
+) -> Result<Vec<(StoredSpeech, Instrumentation)>> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let worker_count = workers.max(1).min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    type WorkerOutput = (
+        Vec<(usize, (StoredSpeech, Instrumentation))>,
+        Option<(usize, EngineError)>,
+    );
+    let per_worker: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                let next = &next;
+                let cancelled = &cancelled;
+                scope.spawn(move || {
+                    let mut solved = Vec::new();
+                    let mut failure: Option<(usize, EngineError)> = None;
+                    while !cancelled.load(Ordering::Relaxed) {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= jobs.len() {
+                            break;
+                        }
+                        let (plan_index, item_index) = jobs[job];
+                        let plan = &plans[plan_index];
+                        match solve_item(
+                            &plan.relation,
+                            config,
+                            summarizer,
+                            &plan.template,
+                            &plan.items[item_index],
+                        ) {
+                            Ok(result) => solved.push((job, result)),
+                            Err(error) => {
+                                failure = Some((job, error));
+                                cancelled.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    (solved, failure)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("pre-processing worker panicked"))
+            .collect()
+    });
+
+    let mut solved = Vec::with_capacity(jobs.len());
+    let mut first_failure: Option<(usize, EngineError)> = None;
+    for (worker_solved, failure) in per_worker {
+        solved.extend(worker_solved);
+        if let Some((index, error)) = failure {
+            if first_failure.as_ref().is_none_or(|(best, _)| index < *best) {
+                first_failure = Some((index, error));
+            }
+        }
+    }
+    if let Some((_, error)) = first_failure {
+        return Err(error);
+    }
+    solved.sort_by_key(|(index, _)| *index);
+    Ok(solved.into_iter().map(|(_, result)| result).collect())
+}
+
+/// Run the full pre-processing batch: every target, every query, over one
+/// work-stealing pool. Returns the populated speech store and a report.
 pub fn preprocess<S: Summarizer + Sync + ?Sized>(
     dataset: &GeneratedDataset,
     config: &Configuration,
@@ -207,47 +359,23 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
 ) -> Result<(SpeechStore, PreprocessReport)> {
     config.validate()?;
     let start = Instant::now();
+    let plans = build_plans(dataset, config, options)?;
+    let jobs: Vec<(usize, usize)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(plan_index, plan)| (0..plan.items.len()).map(move |i| (plan_index, i)))
+        .collect();
+    let total_queries = jobs.len();
+    let solved = run_jobs(&plans, &jobs, config, summarizer, options.workers)?;
+
     let store = SpeechStore::new();
-    let mut total_queries = 0usize;
     let mut instrumentation = Instrumentation::default();
-
-    for target in &config.targets {
-        let relation = target_relation(dataset, config, target)?;
-        let items = enumerate_queries(&relation, config, target);
-        total_queries += items.len();
-        let template = options
-            .templates
-            .get(target)
-            .cloned()
-            .unwrap_or_else(|| SpeechTemplate::plain(target));
-
-        let workers = options.workers.max(1).min(items.len().max(1));
-        let chunk_size = items.len().div_ceil(workers);
-        let results: Vec<Result<Vec<(StoredSpeech, Instrumentation)>>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in items.chunks(chunk_size.max(1)) {
-                    let relation = &relation;
-                    let template = &template;
-                    handles.push(scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|item| solve_item(relation, config, summarizer, template, item))
-                            .collect::<Result<Vec<_>>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-
-        for worker_result in results {
-            for (speech, counters) in worker_result? {
-                instrumentation.merge(&counters);
-                store.insert(speech);
-            }
-        }
+    for (speech, counters) in solved {
+        instrumentation.merge(&counters);
+        store.insert(speech);
+    }
+    for plan in &plans {
+        store.set_target_prior(&plan.target, plan.prior);
     }
 
     let speeches = store.len();
@@ -260,6 +388,107 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
             instrumentation,
         },
     ))
+}
+
+/// Delta re-summarization: bring `store` up to date with `dataset` after
+/// the rows in `changed_rows` were mutated, recomputing only the queries
+/// whose data subset actually changed.
+///
+/// A query is recomputed when any of these hold:
+/// - its (new) subset contains a changed row — covers changed target
+///   values and rows that moved *into* the subset;
+/// - its stored row count differs from the new subset size — covers rows
+///   that moved *out of* the subset;
+/// - it has no stored speech yet — covers value combinations newly
+///   appearing in the data (or targets invalidated via
+///   [`SpeechStore::invalidate_target`]);
+/// - the target's global average (the §III constant prior) drifted, which
+///   invalidates every speech of that target.
+///
+/// Stored queries whose value combination vanished are removed. All other
+/// entries are left untouched — the same [`std::sync::Arc`] keeps serving
+/// — so after a refresh the store is element-wise identical to a full
+/// [`preprocess`] over the new data.
+pub fn refresh<S: Summarizer + Sync + ?Sized>(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    summarizer: &S,
+    options: &PreprocessOptions,
+    store: &SpeechStore,
+    changed_rows: &[usize],
+) -> Result<RefreshReport> {
+    config.validate()?;
+    let start = Instant::now();
+    let plans = build_plans(dataset, config, options)?;
+
+    let mut queries = 0usize;
+    let mut kept = 0usize;
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    let mut stale: Vec<Query> = Vec::new();
+    for (plan_index, plan) in plans.iter().enumerate() {
+        queries += plan.items.len();
+        let mut changed = vec![false; plan.relation.len()];
+        for &row in changed_rows {
+            if row < changed.len() {
+                changed[row] = true;
+            }
+        }
+        // The prior is recomputed deterministically from the data, so an
+        // unchanged target column reproduces it bit-for-bit; any other
+        // value means every kept speech of this target would embed a
+        // stale prior.
+        let prior_drifted = match store.target_prior(&plan.target) {
+            Some(old) => old.to_bits() != plan.prior.to_bits(),
+            None => true,
+        };
+        // Note stored queries whose value combination no longer occurs;
+        // actual removal is deferred until solving has succeeded so a
+        // failed refresh never leaves a live store partially mutated.
+        let live: FxHashSet<&Query> = plan.items.iter().map(|item| &item.query).collect();
+        for speech in store.speeches_for_target(&plan.target) {
+            if !live.contains(&speech.query) {
+                stale.push(speech.query.clone());
+            }
+        }
+        for (item_index, item) in plan.items.iter().enumerate() {
+            let affected = prior_drifted
+                || item.rows.iter().any(|&row| changed[row])
+                || store
+                    .get(&item.query)
+                    .is_none_or(|existing| existing.rows != item.rows.len());
+            if affected {
+                jobs.push((plan_index, item_index));
+            } else {
+                kept += 1;
+            }
+        }
+    }
+
+    let solved = run_jobs(&plans, &jobs, config, summarizer, options.workers)?;
+    // Everything solved: from here on the store mutates without fallible
+    // steps in between.
+    let removed = stale.len();
+    for query in &stale {
+        store.remove(query);
+    }
+    let recomputed = solved.len();
+    let mut instrumentation = Instrumentation::default();
+    for (speech, counters) in solved {
+        instrumentation.merge(&counters);
+        store.insert(speech);
+    }
+    for plan in &plans {
+        store.set_target_prior(&plan.target, plan.prior);
+    }
+
+    Ok(RefreshReport {
+        queries,
+        recomputed,
+        kept,
+        removed,
+        elapsed: start.elapsed(),
+        instrumentation,
+    })
 }
 
 #[cfg(test)]
@@ -344,6 +573,9 @@ mod tests {
             assert!(!speech.text.is_empty());
             assert!(speech.utility >= -1e-9);
         }
+        // The constant prior is recorded per target for later refreshes.
+        let relation = target_relation(&data, &cfg, "delay").unwrap();
+        assert_eq!(store.target_prior("delay"), Some(relation.target_mean()));
     }
 
     #[test]
@@ -359,9 +591,11 @@ mod tests {
             workers: 8,
             ..Default::default()
         };
-        let (s1, _) = preprocess(&data, &cfg, &summarizer, &serial).unwrap();
-        let (s2, _) = preprocess(&data, &cfg, &summarizer, &parallel).unwrap();
+        let (s1, r1) = preprocess(&data, &cfg, &summarizer, &serial).unwrap();
+        let (s2, r2) = preprocess(&data, &cfg, &summarizer, &parallel).unwrap();
         assert_eq!(s1.len(), s2.len());
+        assert_eq!(s1.snapshot(), s2.snapshot());
+        assert_eq!(r1.instrumentation, r2.instrumentation);
         for query in s1.queries() {
             let a = s1.get(&query).unwrap();
             let b = s2.get(&query).unwrap();
@@ -409,5 +643,115 @@ mod tests {
         let speech = store.get(&q).unwrap();
         assert_eq!(speech.facts.len(), 1);
         assert!(speech.facts[0].scope.is_empty());
+    }
+
+    #[test]
+    fn refresh_with_no_changes_keeps_every_entry() {
+        let data = tiny_dataset();
+        let cfg = config();
+        let summarizer = GreedySummarizer::with_optimized_pruning();
+        let options = PreprocessOptions::default();
+        let (store, _) = preprocess(&data, &cfg, &summarizer, &options).unwrap();
+        let before = store.snapshot();
+        let report = refresh(&data, &cfg, &summarizer, &options, &store, &[]).unwrap();
+        assert_eq!(report.recomputed, 0);
+        assert_eq!(report.kept, report.queries);
+        assert_eq!(report.removed, 0);
+        let after = store.snapshot();
+        assert_eq!(before, after);
+        // Untouched entries are pointer-stable, not just value-stable.
+        for (a, b) in before.iter().zip(&after) {
+            assert!(std::sync::Arc::ptr_eq(a, b), "{}", a.query);
+        }
+    }
+
+    #[test]
+    fn refresh_recomputes_invalidated_target_only() {
+        let data = tiny_dataset();
+        let cfg = config();
+        let summarizer = GreedySummarizer::with_optimized_pruning();
+        let options = PreprocessOptions::default();
+        let (store, _) = preprocess(&data, &cfg, &summarizer, &options).unwrap();
+        let cancelled_before = store.snapshot();
+        assert_eq!(store.invalidate_target("delay"), 12);
+        let report = refresh(&data, &cfg, &summarizer, &options, &store, &[]).unwrap();
+        assert_eq!(report.recomputed, 12);
+        assert_eq!(report.kept, 12);
+        assert_eq!(store.len(), 24);
+        // The untouched target kept its exact Arcs.
+        for speech in cancelled_before
+            .iter()
+            .filter(|s| s.query.target() == "cancelled")
+        {
+            let now = store.get(&speech.query).unwrap();
+            assert!(std::sync::Arc::ptr_eq(speech, &now), "{}", speech.query);
+        }
+    }
+
+    /// Fails on every query whose subset contains a marked row, letting
+    /// tests inject solver errors mid-batch.
+    struct FailingSummarizer {
+        fail_on_row: usize,
+    }
+
+    impl Summarizer for FailingSummarizer {
+        fn name(&self) -> &'static str {
+            "FAIL"
+        }
+
+        fn summarize(&self, problem: &Problem<'_>) -> vqs_core::error::Result<Summary> {
+            let _ = problem;
+            Err(vqs_core::error::CoreError::InvalidProblem {
+                detail: format!("injected failure (row {})", self.fail_on_row),
+            })
+        }
+    }
+
+    #[test]
+    fn failed_refresh_leaves_store_untouched() {
+        let data = tiny_dataset();
+        let cfg = config();
+        let summarizer = GreedySummarizer::with_optimized_pruning();
+        let options = PreprocessOptions::default();
+        let (store, _) = preprocess(&data, &cfg, &summarizer, &options).unwrap();
+        let before = store.snapshot();
+        // Force recomputation of everything, with a solver that always
+        // errors: the refresh must fail without mutating the store —
+        // no removals, no partial inserts, no prior updates.
+        store.set_target_prior("delay", -1.0);
+        store.set_target_prior("cancelled", -1.0);
+        let err = refresh(
+            &data,
+            &cfg,
+            &FailingSummarizer { fail_on_row: 0 },
+            &options,
+            &store,
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Core(_)));
+        let after = store.snapshot();
+        assert_eq!(before, after);
+        for (a, b) in before.iter().zip(&after) {
+            assert!(std::sync::Arc::ptr_eq(a, b), "{}", a.query);
+        }
+        // A subsequent successful refresh recovers fully.
+        let report = refresh(&data, &cfg, &summarizer, &options, &store, &[]).unwrap();
+        assert_eq!(report.recomputed, 24);
+        assert_eq!(store.snapshot().len(), 24);
+    }
+
+    #[test]
+    fn refresh_on_empty_store_equals_preprocess() {
+        let data = tiny_dataset();
+        let cfg = config();
+        let summarizer = GreedySummarizer::with_optimized_pruning();
+        let options = PreprocessOptions::default();
+        let (reference, _) = preprocess(&data, &cfg, &summarizer, &options).unwrap();
+        let store = SpeechStore::new();
+        let report = refresh(&data, &cfg, &summarizer, &options, &store, &[]).unwrap();
+        assert_eq!(report.recomputed, 24);
+        assert_eq!(report.kept, 0);
+        assert_eq!(store.snapshot(), reference.snapshot());
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! Pre-processing side: a [`config::Configuration`] describes the queries
 //! to support; the [`generator`] enumerates one speech-summarization
-//! problem per (target, predicate-combination) and solves them in a
-//! parallel batch, filling the [`store::SpeechStore`]. Run-time side: the
+//! problem per (target, predicate-combination) and solves them over a
+//! work-stealing worker pool, filling the sharded, lock-striped
+//! [`store::SpeechStore`]; [`generator::refresh`] re-summarizes only the
+//! queries whose data subset changed. Run-time side: the
 //! [`nlq::Extractor`] maps request text to queries, the store serves the
 //! most specific pre-generated speech, and [`voice::VoiceSession`] wraps
 //! the loop with help/repeat handling and latency accounting.
@@ -51,8 +53,8 @@ pub mod prelude {
     pub use crate::error::{EngineError, Result};
     pub use crate::extensions::{ExtremumIndex, GroupAverage};
     pub use crate::generator::{
-        enumerate_queries, preprocess, solve_item, target_relation, PreprocessOptions,
-        PreprocessReport, WorkItem,
+        enumerate_queries, preprocess, refresh, solve_item, target_relation, PreprocessOptions,
+        PreprocessReport, RefreshReport, WorkItem,
     };
     pub use crate::logsim::{
         complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,
@@ -60,7 +62,7 @@ pub mod prelude {
     };
     pub use crate::nlq::{Extractor, Request, Unsupported};
     pub use crate::problem::{NamedFact, Query, StoredSpeech};
-    pub use crate::store::{Lookup, SpeechStore};
+    pub use crate::store::{Lookup, SpeechStore, StoreStats, DEFAULT_SHARDS};
     pub use crate::template::{format_value, speaking_time_secs, SpeechTemplate, ValueStyle};
     pub use crate::voice::{VoiceResponse, VoiceSession};
 }

@@ -8,8 +8,9 @@ use std::fmt;
 /// a conjunction of equality predicates").
 ///
 /// Predicates are kept sorted by dimension name so structurally equal
-/// queries compare and hash equal.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// queries compare and hash equal. The `Ord` impl (target, then
+/// predicates) gives store snapshots a canonical order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Query {
     target: String,
     predicates: Vec<(String, String)>,
@@ -60,23 +61,44 @@ impl Query {
         self.predicates.is_empty()
     }
 
+    /// The predicate dimension names, in normalized (sorted) order.
+    pub fn dimension_names(&self) -> Vec<String> {
+        self.predicates.iter().map(|(d, _)| d.clone()).collect()
+    }
+
+    /// The sub-query keeping exactly the predicates whose bits are set in
+    /// `mask` (bit `i` = `predicates()[i]`). The result stays normalized
+    /// because a subsequence of a sorted list is sorted.
+    pub fn predicate_subset(&self, mask: u64) -> Query {
+        let predicates: Vec<(String, String)> = (0..self.predicates.len())
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| self.predicates[i].clone())
+            .collect();
+        Query {
+            target: self.target.clone(),
+            predicates,
+        }
+    }
+
+    /// True when this query's predicates are a subset of `other`'s and the
+    /// targets match — i.e. a speech stored for `self` may answer `other`
+    /// via the §III generalization fallback.
+    pub fn subset_of(&self, other: &Query) -> bool {
+        self.target == other.target && self.predicates.iter().all(|p| other.predicates.contains(p))
+    }
+
     /// All sub-queries whose predicate sets are subsets of this query's,
     /// ordered by decreasing predicate count (used for the §III fallback:
     /// "the speech describing the most specific data subset that contains
-    /// the one referenced in the query").
+    /// the one referenced in the query"). Within one predicate count the
+    /// order is by decreasing bitmask over the normalized predicate list;
+    /// this is the tie-break rule the store and its naive reference share.
     pub fn generalizations(&self) -> Vec<Query> {
         let n = self.predicates.len();
-        let mut out = Vec::new();
-        for mask in (0..(1u32 << n)).rev() {
-            let predicates: Vec<(String, String)> = (0..n)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| self.predicates[i].clone())
-                .collect();
-            out.push(Query {
-                target: self.target.clone(),
-                predicates,
-            });
-        }
+        let mut out: Vec<Query> = (0..(1u64 << n))
+            .rev()
+            .map(|mask| self.predicate_subset(mask))
+            .collect();
         out.sort_by_key(|q| std::cmp::Reverse(q.len()));
         out.dedup();
         out
@@ -190,6 +212,39 @@ mod tests {
         // Middle two have one predicate each.
         assert_eq!(gens[1].len(), 1);
         assert_eq!(gens[2].len(), 1);
+    }
+
+    #[test]
+    fn predicate_subset_and_subset_of() {
+        let q = Query::of("t", &[("a", "x"), ("b", "y"), ("c", "z")]);
+        let sub = q.predicate_subset(0b101);
+        assert_eq!(sub, Query::of("t", &[("a", "x"), ("c", "z")]));
+        assert!(sub.subset_of(&q));
+        assert!(!q.subset_of(&sub));
+        assert!(Query::of("t", &[]).subset_of(&q));
+        // Different target: never a subset.
+        assert!(!Query::of("u", &[]).subset_of(&q));
+        // Same dimension, different value: not a subset.
+        assert!(!Query::of("t", &[("a", "w")]).subset_of(&q));
+    }
+
+    #[test]
+    fn dimension_names_sorted() {
+        let q = Query::of("t", &[("b", "y"), ("a", "x")]);
+        assert_eq!(q.dimension_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn query_ordering_is_canonical() {
+        let mut queries = [
+            Query::of("t", &[("a", "x")]),
+            Query::of("s", &[("b", "y")]),
+            Query::of("t", &[]),
+        ];
+        queries.sort();
+        assert_eq!(queries[0].target(), "s");
+        assert!(queries[1].is_empty());
+        assert_eq!(queries[2].len(), 1);
     }
 
     #[test]

@@ -6,22 +6,40 @@
 //! specific data subset that contains the one referenced in the query is
 //! used" — i.e. a stored speech for predicates `S ⊆ Q` with `|S ∩ Q|`
 //! maximal.
+//!
+//! The store is sharded for concurrent traffic: speeches live in `N`
+//! lock-striped hash shards selected by query hash, so pre-processing
+//! writers and run-time readers contend only when they touch the same
+//! shard. A per-target secondary index records which predicate-dimension
+//! sets actually hold speeches, so the generalization fallback probes
+//! only candidate generalizations instead of enumerating every predicate
+//! subset (or scanning the map). Speeches are stored behind [`Arc`], so
+//! lookups hand out references without deep-copying text and facts, and
+//! delta re-summarization (see [`crate::generator::refresh`]) can assert
+//! pointer stability of untouched entries.
+
+use std::hash::BuildHasher;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
-use vqs_relalg::hash::FxHashMap;
+use vqs_core::prelude::Instrumentation;
+use vqs_relalg::hash::{FxHashMap, FxHasher};
 
 use crate::problem::{Query, StoredSpeech};
 
-/// Result of a store lookup.
+/// Result of a store lookup. Speeches are shared via [`Arc`]: cloning a
+/// lookup result never copies the speech text or facts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Lookup {
     /// A speech pre-generated for exactly this query.
-    Exact(StoredSpeech),
+    Exact(Arc<StoredSpeech>),
     /// Fallback to the most specific generalization (some predicates
     /// dropped); carries how many predicates were kept.
     Generalized {
         /// The speech served.
-        speech: StoredSpeech,
+        speech: Arc<StoredSpeech>,
         /// Number of query predicates the served speech retains.
         kept_predicates: usize,
     },
@@ -40,83 +58,403 @@ impl Lookup {
     }
 }
 
-/// Thread-safe speech store.
+/// Point-in-time copy of the store's run-time counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served (exact, generalized, or miss).
+    pub lookups: u64,
+    /// Hash probes issued across all lookups (1 per exact probe plus 1
+    /// per indexed generalization candidate).
+    pub probes: u64,
+    /// Lookups answered by an exact hit.
+    pub exact_hits: u64,
+    /// Lookups answered by a generalization.
+    pub generalized_hits: u64,
+    /// Lookups answered by a miss.
+    pub misses: u64,
+}
+
+/// Run-time counters, updated with relaxed atomics on the lookup path.
+/// One cache-line-aligned stripe per shard: every lookup writes only the
+/// stripe of the shard its query hashes to, so counter updates never
+/// bounce a shared line between threads working different shards.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CounterStripe {
+    lookups: AtomicU64,
+    probes: AtomicU64,
+    exact_hits: AtomicU64,
+    generalized_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Longest query for which the fallback enumerates predicate subsets
+/// (`O(2^n)`); longer queries — far beyond anything the NLQ extractor
+/// emits — use a linear scan of the target's speeches instead.
+const MAX_ENUMERATED_PREDICATES: usize = 16;
+
+/// Bitmask of `query`'s predicates that `subset` retains, if
+/// `subset ⊆ query` on the same target.
+fn subset_mask(subset: &Query, query: &Query) -> Option<u64> {
+    if subset.target() != query.target() || subset.len() > query.len() {
+        return None;
+    }
+    let mut mask = 0u64;
+    for predicate in subset.predicates() {
+        let position = query.predicates().iter().position(|p| p == predicate)?;
+        // Positions past 63 cannot influence the 64-bit tie-break rank;
+        // specificity (the predicate count) still ranks correctly.
+        if position < 64 {
+            mask |= 1 << position;
+        }
+    }
+    Some(mask)
+}
+
+/// Order-sensitive hash of a predicate-dimension name set (the names are
+/// already sorted by [`Query`] normalization). Keying the secondary index
+/// by this hash keeps fallback membership checks allocation-free; a
+/// collision merely costs one extra (missing) probe, never a wrong
+/// answer.
+fn dim_set_hash<'a>(names: impl Iterator<Item = &'a str>) -> u64 {
+    let mut hasher = FxHasher::default();
+    for name in names {
+        hasher.write(name.as_bytes());
+        // Separator so ["ab","c"] and ["a","bc"] cannot collide trivially.
+        hasher.write_u8(0xFF);
+    }
+    hasher.finish()
+}
+
+/// Per-target entry of the secondary index: the predicate-dimension sets
+/// that currently hold at least one speech (with a count for removal
+/// bookkeeping), plus the target-column prior recorded at pre-processing
+/// time (consulted by delta re-summarization).
+#[derive(Debug, Default)]
+struct TargetIndex {
+    /// [`dim_set_hash`] of a dimension set → number of stored queries
+    /// with it.
+    dim_sets: FxHashMap<u64, usize>,
+    /// Global target average used as the §III constant prior.
+    prior: Option<f64>,
+}
+
+type Shard = RwLock<FxHashMap<Query, Arc<StoredSpeech>>>;
+
+/// Thread-safe, sharded speech store.
 ///
 /// Pre-processing threads insert concurrently; the voice runtime performs
-/// lock-free-ish reads (a brief read lock; lookups are hash probes, §VIII-E
-/// measures them in microseconds).
-#[derive(Debug, Default)]
+/// short read-locked hash probes (§VIII-E measures lookups in
+/// microseconds). No method ever holds two locks at once, so readers and
+/// writers cannot deadlock regardless of interleaving; the secondary
+/// index may briefly trail a concurrent insert, which only costs a
+/// transiently more general answer, never a malformed one.
+#[derive(Debug)]
 pub struct SpeechStore {
-    speeches: RwLock<FxHashMap<Query, StoredSpeech>>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: u64,
+    index: RwLock<FxHashMap<String, TargetIndex>>,
+    counters: Box<[CounterStripe]>,
+}
+
+/// Default shard count: enough stripes that 8–16 mixed readers/writers
+/// rarely collide, while keeping full-store scans cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl Default for SpeechStore {
+    fn default() -> SpeechStore {
+        SpeechStore::new()
+    }
 }
 
 impl SpeechStore {
-    /// Empty store.
+    /// Empty store with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> SpeechStore {
-        SpeechStore::default()
+        SpeechStore::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Empty store with at least `shards` shards (rounded up to a power
+    /// of two so shard selection is a mask, not a division).
+    pub fn with_shards(shards: usize) -> SpeechStore {
+        let count = shards.max(1).next_power_of_two();
+        SpeechStore {
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            mask: count as u64 - 1,
+            index: RwLock::default(),
+            counters: (0..count).map(|_| CounterStripe::default()).collect(),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, query: &Query) -> usize {
+        let hash = BuildHasherDefault::<FxHasher>::default().hash_one(query);
+        (hash & self.mask) as usize
+    }
+
+    fn shard(&self, query: &Query) -> &Shard {
+        &self.shards[self.shard_index(query)]
     }
 
     /// Insert (or replace) the answer for a query.
     pub fn insert(&self, speech: StoredSpeech) {
-        self.speeches.write().insert(speech.query.clone(), speech);
+        self.insert_arc(Arc::new(speech));
+    }
+
+    /// Insert an already-shared speech (used by the refresh path to keep
+    /// untouched entries pointer-stable).
+    pub fn insert_arc(&self, speech: Arc<StoredSpeech>) {
+        let query = speech.query.clone();
+        let replaced = self.shard(&query).write().insert(query.clone(), speech);
+        if replaced.is_none() {
+            let dims = dim_set_hash(query.predicates().iter().map(|(d, _)| d.as_str()));
+            let mut index = self.index.write();
+            let entry = index.entry(query.target().to_string()).or_default();
+            *entry.dim_sets.entry(dims).or_insert(0) += 1;
+        }
     }
 
     /// Bulk insert.
     pub fn extend(&self, speeches: impl IntoIterator<Item = StoredSpeech>) {
-        let mut map = self.speeches.write();
         for speech in speeches {
-            map.insert(speech.query.clone(), speech);
+            self.insert(speech);
         }
+    }
+
+    /// Remove the speech stored for exactly this query, if any.
+    pub fn remove(&self, query: &Query) -> Option<Arc<StoredSpeech>> {
+        let removed = self.shard(query).write().remove(query);
+        if removed.is_some() {
+            let dims = dim_set_hash(query.predicates().iter().map(|(d, _)| d.as_str()));
+            let mut index = self.index.write();
+            if let Some(entry) = index.get_mut(query.target()) {
+                if let Some(count) = entry.dim_sets.get_mut(&dims) {
+                    *count -= 1;
+                    if *count == 0 {
+                        entry.dim_sets.remove(&dims);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Drop every speech for a target column; returns how many were
+    /// removed. Also forgets the target's recorded prior, so the next
+    /// [`crate::generator::refresh`] recomputes the target from scratch.
+    pub fn invalidate_target(&self, target: &str) -> usize {
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut map = shard.write();
+            let before = map.len();
+            map.retain(|query, _| query.target() != target);
+            removed += before - map.len();
+        }
+        self.index.write().remove(target);
+        removed
+    }
+
+    /// Record the target-column prior used when this target's speeches
+    /// were generated (the paper's constant global average).
+    pub fn set_target_prior(&self, target: &str, prior: f64) {
+        self.index
+            .write()
+            .entry(target.to_string())
+            .or_default()
+            .prior = Some(prior);
+    }
+
+    /// The recorded prior for a target, if it was ever pre-processed.
+    pub fn target_prior(&self, target: &str) -> Option<f64> {
+        self.index.read().get(target).and_then(|entry| entry.prior)
     }
 
     /// Number of stored speeches.
     pub fn len(&self) -> usize {
-        self.speeches.read().len()
+        self.shards.iter().map(|shard| shard.read().len()).sum()
     }
 
     /// True when no speeches are stored.
     pub fn is_empty(&self) -> bool {
-        self.speeches.read().is_empty()
+        self.shards.iter().all(|shard| shard.read().is_empty())
     }
 
-    /// Exact lookup only.
-    pub fn get(&self, query: &Query) -> Option<StoredSpeech> {
-        self.speeches.read().get(query).cloned()
+    /// Exact lookup only (not counted in the run-time stats).
+    pub fn get(&self, query: &Query) -> Option<Arc<StoredSpeech>> {
+        self.shard(query).read().get(query).cloned()
     }
 
     /// The §III run-time lookup with most-specific-generalization
-    /// fallback.
+    /// fallback. Instead of probing all `2^n` predicate subsets, only
+    /// subsets whose dimension set holds at least one speech (per the
+    /// secondary index) are probed, in decreasing-specificity order with
+    /// the same tie-break as [`Query::generalizations`].
     pub fn lookup(&self, query: &Query) -> Lookup {
-        let map = self.speeches.read();
-        if let Some(speech) = map.get(query) {
-            return Lookup::Exact(speech.clone());
+        // One hash selects both the shard and the counter stripe.
+        let shard_index = self.shard_index(query);
+        let stripe = &self.counters[shard_index];
+        stripe.lookups.fetch_add(1, Ordering::Relaxed);
+        stripe.probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(speech) = self.shards[shard_index].read().get(query).cloned() {
+            stripe.exact_hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Exact(speech);
         }
-        // generalizations() is ordered by decreasing predicate count, so
-        // the first hit is the most specific subset S ⊆ Q.
-        for candidate in query.generalizations().into_iter().skip(1) {
-            if let Some(speech) = map.get(&candidate) {
+        // Queries long enough that the 2^n subset enumeration would hurt
+        // fall back to one linear scan of the target's speeches instead.
+        if query.len() > MAX_ENUMERATED_PREDICATES {
+            return self.lookup_by_scan(query, stripe);
+        }
+        // Select the candidate masks under the index read lock alone
+        // (never while holding a shard lock: lock-order freedom from
+        // deadlock), in generalizations() order — decreasing predicate
+        // count, then decreasing mask. One pass over the masks, bucketed
+        // by predicate count; the full mask was probed exactly above.
+        let n = query.len() as u32;
+        let by_size: Option<Vec<Vec<u64>>> = {
+            let index = self.index.read();
+            index.get(query.target()).map(|entry| {
+                let mut by_size: Vec<Vec<u64>> = vec![Vec::new(); n as usize + 1];
+                for mask in (0..(1u64 << n)).rev().skip(1) {
+                    let names = query
+                        .predicates()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, (d, _))| d.as_str());
+                    if entry.dim_sets.contains_key(&dim_set_hash(names)) {
+                        by_size[mask.count_ones() as usize].push(mask);
+                    }
+                }
+                by_size
+            })
+        };
+        let Some(by_size) = by_size else {
+            stripe.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        };
+        for mask in by_size.into_iter().rev().flatten() {
+            stripe.probes.fetch_add(1, Ordering::Relaxed);
+            let candidate = query.predicate_subset(mask);
+            if let Some(speech) = self.shard(&candidate).read().get(&candidate).cloned() {
+                stripe.generalized_hits.fetch_add(1, Ordering::Relaxed);
                 return Lookup::Generalized {
-                    speech: speech.clone(),
+                    speech,
                     kept_predicates: candidate.len(),
                 };
             }
         }
+        stripe.misses.fetch_add(1, Ordering::Relaxed);
         Lookup::Miss
     }
 
+    /// Generalization fallback for queries beyond
+    /// [`MAX_ENUMERATED_PREDICATES`]: one scan over the target's stored
+    /// speeches, ranked by (kept predicates, predicate bitmask) exactly
+    /// like the enumerated walk. Linear in the target's speech count, but
+    /// independent of `2^n`.
+    fn lookup_by_scan(&self, query: &Query, stripe: &CounterStripe) -> Lookup {
+        let mut best: Option<(usize, u64, Arc<StoredSpeech>)> = None;
+        for shard in self.shards.iter() {
+            for speech in shard.read().values() {
+                let Some(mask) = subset_mask(&speech.query, query) else {
+                    continue;
+                };
+                stripe.probes.fetch_add(1, Ordering::Relaxed);
+                let rank = (speech.query.len(), mask);
+                if best.as_ref().is_none_or(|(len, m, _)| rank > (*len, *m)) {
+                    best = Some((rank.0, rank.1, Arc::clone(speech)));
+                }
+            }
+        }
+        match best {
+            Some((kept_predicates, _, speech)) => {
+                stripe.generalized_hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Generalized {
+                    speech,
+                    kept_predicates,
+                }
+            }
+            None => {
+                stripe.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
     /// All stored speeches for a target column (diagnostics / studies).
-    pub fn speeches_for_target(&self, target: &str) -> Vec<StoredSpeech> {
-        self.speeches
-            .read()
-            .values()
-            .filter(|s| s.query.target() == target)
-            .cloned()
+    pub fn speeches_for_target(&self, target: &str) -> Vec<Arc<StoredSpeech>> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .values()
+                    .filter(|s| s.query.target() == target)
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 
-    /// Snapshot of every stored query.
+    /// Snapshot of every stored query (unordered).
     pub fn queries(&self) -> Vec<Query> {
-        self.speeches.read().keys().cloned().collect()
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Canonical snapshot of the whole store, sorted by query; two stores
+    /// with equal contents produce equal snapshots regardless of shard
+    /// count or insertion order.
+    pub fn snapshot(&self) -> Vec<Arc<StoredSpeech>> {
+        let mut speeches: Vec<Arc<StoredSpeech>> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        speeches.sort_by(|a, b| a.query.cmp(&b.query));
+        speeches
+    }
+
+    /// Point-in-time copy of the run-time counters (summed over the
+    /// per-shard stripes).
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for stripe in self.counters.iter() {
+            stats.lookups += stripe.lookups.load(Ordering::Relaxed);
+            stats.probes += stripe.probes.load(Ordering::Relaxed);
+            stats.exact_hits += stripe.exact_hits.load(Ordering::Relaxed);
+            stats.generalized_hits += stripe.generalized_hits.load(Ordering::Relaxed);
+            stats.misses += stripe.misses.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Reset the run-time counters to zero.
+    pub fn reset_stats(&self) {
+        for stripe in self.counters.iter() {
+            stripe.lookups.store(0, Ordering::Relaxed);
+            stripe.probes.store(0, Ordering::Relaxed);
+            stripe.exact_hits.store(0, Ordering::Relaxed);
+            stripe.generalized_hits.store(0, Ordering::Relaxed);
+            stripe.misses.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The run-time counters in [`Instrumentation`] form, so store effort
+    /// composes with the pre-processing work counters.
+    pub fn instrumentation(&self) -> Instrumentation {
+        let stats = self.stats();
+        Instrumentation {
+            store_lookups: stats.lookups,
+            store_probes: stats.probes,
+            ..Instrumentation::default()
+        }
     }
 }
 
@@ -202,6 +540,179 @@ mod tests {
         assert_eq!(store.speeches_for_target("delay").len(), 3);
         assert_eq!(store.speeches_for_target("cancelled").len(), 1);
         assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SpeechStore::with_shards(1).shard_count(), 1);
+        assert_eq!(SpeechStore::with_shards(3).shard_count(), 4);
+        assert_eq!(SpeechStore::with_shards(16).shard_count(), 16);
+        assert_eq!(SpeechStore::new().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn contents_agree_across_shard_counts() {
+        let reference = store().snapshot();
+        for shards in [1, 2, 8, 64] {
+            let sharded = SpeechStore::with_shards(shards);
+            sharded.extend([
+                speech("cancelled", &[]),
+                speech("delay", &[("season", "Winter"), ("region", "East")]),
+                speech("delay", &[]),
+                speech("delay", &[("season", "Winter")]),
+            ]);
+            assert_eq!(sharded.len(), 4);
+            assert_eq!(sharded.snapshot(), reference);
+            let q = Query::of("delay", &[("season", "Winter"), ("region", "North")]);
+            match sharded.lookup(&q) {
+                Lookup::Generalized {
+                    kept_predicates, ..
+                } => assert_eq!(kept_predicates, 1),
+                other => panic!("expected generalized with {shards} shards, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn insert_replaces_without_index_drift() {
+        let store = SpeechStore::new();
+        store.insert(speech("delay", &[("season", "Winter")]));
+        let mut updated = speech("delay", &[("season", "Winter")]);
+        updated.text = "updated".to_string();
+        store.insert(updated);
+        assert_eq!(store.len(), 1);
+        let got = store
+            .get(&Query::of("delay", &[("season", "Winter")]))
+            .unwrap();
+        assert_eq!(got.text, "updated");
+        // The index still routes fallback to the surviving entry.
+        let q = Query::of("delay", &[("season", "Winter"), ("region", "East")]);
+        assert!(matches!(store.lookup(&q), Lookup::Generalized { .. }));
+    }
+
+    #[test]
+    fn remove_updates_index() {
+        let store = store();
+        let removed = store
+            .remove(&Query::of("delay", &[("season", "Winter")]))
+            .unwrap();
+        assert_eq!(removed.query, Query::of("delay", &[("season", "Winter")]));
+        assert_eq!(store.len(), 3);
+        // The (season) dimension set is gone: the fallback now lands on
+        // the overall speech without probing the removed combination.
+        store.reset_stats();
+        let q = Query::of("delay", &[("season", "Winter"), ("region", "North")]);
+        match store.lookup(&q) {
+            Lookup::Generalized {
+                kept_predicates, ..
+            } => assert_eq!(kept_predicates, 0),
+            other => panic!("expected generalized, got {other:?}"),
+        }
+        // exact probe + overall candidate = 2 probes; the (season) subset
+        // is no longer a candidate and (region) never was.
+        assert_eq!(store.stats().probes, 2);
+    }
+
+    #[test]
+    fn invalidate_target_clears_speeches_and_prior() {
+        let store = store();
+        store.set_target_prior("delay", 15.0);
+        assert_eq!(store.invalidate_target("delay"), 3);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.target_prior("delay"), None);
+        assert_eq!(store.lookup(&Query::of("delay", &[])), Lookup::Miss);
+        assert!(store.get(&Query::of("cancelled", &[])).is_some());
+    }
+
+    #[test]
+    fn priors_round_trip() {
+        let store = SpeechStore::new();
+        assert_eq!(store.target_prior("delay"), None);
+        store.set_target_prior("delay", 12.5);
+        assert_eq!(store.target_prior("delay"), Some(12.5));
+        // Setting a prior does not fabricate speeches.
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn fallback_probes_only_indexed_candidates() {
+        let store = store();
+        store.reset_stats();
+        // 3 predicates → 8 subsets, but only {}, {season}, {season,region}
+        // hold speeches; {season,daypart} etc. are never probed.
+        let q = Query::of(
+            "delay",
+            &[
+                ("season", "Winter"),
+                ("region", "North"),
+                ("daypart", "night"),
+            ],
+        );
+        match store.lookup(&q) {
+            Lookup::Generalized {
+                kept_predicates, ..
+            } => assert_eq!(kept_predicates, 1),
+            other => panic!("expected generalized, got {other:?}"),
+        }
+        let stats = store.stats();
+        // exact + (season,region) + (season) = 3 probes, far below the
+        // 8 subset probes of the unindexed walk and below store size × 1
+        // of a scan.
+        assert_eq!(stats.probes, 3);
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.generalized_hits, 1);
+        let instr = store.instrumentation();
+        assert_eq!(instr.store_probes, 3);
+        assert_eq!(instr.store_lookups, 1);
+    }
+
+    #[test]
+    fn very_long_queries_fall_back_to_a_scan() {
+        let store = store();
+        // 20 predicates exceed MAX_ENUMERATED_PREDICATES; the scan path
+        // must still find the most specific stored generalization.
+        let mut preds: Vec<(String, String)> = (0..18)
+            .map(|i| (format!("x{i:02}"), "v".to_string()))
+            .collect();
+        preds.push(("season".to_string(), "Winter".to_string()));
+        preds.push(("region".to_string(), "East".to_string()));
+        let q = Query::new("delay", preds);
+        assert!(q.len() > 16);
+        match store.lookup(&q) {
+            Lookup::Generalized {
+                speech,
+                kept_predicates,
+            } => {
+                assert_eq!(kept_predicates, 2);
+                assert_eq!(
+                    speech.query,
+                    Query::of("delay", &[("season", "Winter"), ("region", "East")])
+                );
+            }
+            other => panic!("expected generalized, got {other:?}"),
+        }
+        // Unknown target through the scan path: a miss.
+        let mut preds: Vec<(String, String)> = (0..20)
+            .map(|i| (format!("x{i:02}"), "v".to_string()))
+            .collect();
+        preds.push(("season".to_string(), "Winter".to_string()));
+        assert_eq!(
+            store.lookup(&Query::new("satisfaction", preds)),
+            Lookup::Miss
+        );
+    }
+
+    #[test]
+    fn miss_on_unknown_target_costs_one_probe() {
+        let store = store();
+        store.reset_stats();
+        assert_eq!(
+            store.lookup(&Query::of("satisfaction", &[("a", "b")])),
+            Lookup::Miss
+        );
+        let stats = store.stats();
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.misses, 1);
     }
 
     #[test]

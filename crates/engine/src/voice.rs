@@ -65,8 +65,8 @@ impl<'a> VoiceSession<'a> {
                 .clone()
                 .unwrap_or_else(|| "I have not said anything yet.".to_string()),
             Request::Query(query) => match self.store.lookup(query) {
-                Lookup::Exact(speech) => speech.text,
-                Lookup::Generalized { speech, .. } => speech.text,
+                Lookup::Exact(speech) => speech.text.clone(),
+                Lookup::Generalized { speech, .. } => speech.text.clone(),
                 Lookup::Miss => "I have no summary for that topic yet.".to_string(),
             },
             Request::Unsupported(reason) => match reason {

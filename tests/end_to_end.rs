@@ -233,7 +233,7 @@ fn parallel_preprocessing_is_deterministic() {
         let mut texts: Vec<(String, String)> = store
             .queries()
             .into_iter()
-            .map(|q| (q.to_string(), store.get(&q).unwrap().text))
+            .map(|q| (q.to_string(), store.get(&q).unwrap().text.clone()))
             .collect();
         texts.sort();
         texts
