@@ -1,0 +1,180 @@
+//! Solver perf trajectory recorder: measures greedy and exact wall-times
+//! on pinned scenarios plus the indexed-vs-scan kernel sweep, and emits
+//! `BENCH_solver.json`. CI runs it as a smoke step (the output must be
+//! valid JSON; no thresholds are enforced — the committed baselines form
+//! the trajectory across PRs).
+//!
+//! Usage: `bench_solver [--out PATH] [--scale X] [--queries N]`
+
+use std::time::Instant;
+
+use vqs_bench::{run_batch, sample_items, scenario_dataset, single_target_config, RunConfig};
+use vqs_core::prelude::*;
+use vqs_engine::prelude::*;
+
+/// One timed measurement in the emitted JSON.
+struct Entry {
+    scenario: String,
+    algorithm: String,
+    workers: usize,
+    queries: usize,
+    solved: usize,
+    wall_ms: f64,
+}
+
+/// The pinned (scenario, target) pairs: the flights scenario the ISSUE's
+/// acceptance criteria name, plus ACS for a second data shape.
+const PINNED: [(&str, char, &str); 3] = [
+    ("F-C", 'F', "cancelled"),
+    ("F-D", 'F', "delay"),
+    ("A-H", 'A', "hearing"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut config = RunConfig {
+        scale: 0.02,
+        query_limit: 24,
+        ..Default::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--scale" => config.scale = value("--scale").parse().expect("numeric scale"),
+            "--queries" => config.query_limit = value("--queries").parse().expect("numeric limit"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for (name, letter, target) in PINNED {
+        let dataset = scenario_dataset(letter, &config);
+        let engine_config = single_target_config(&dataset, target);
+        let relation = target_relation(&dataset, &engine_config, target).expect("pinned target");
+        let items = sample_items(
+            enumerate_queries(&relation, &engine_config, target),
+            config.query_limit,
+        );
+        let algorithms: Vec<(&str, usize, Box<dyn Summarizer>)> = vec![
+            ("G-B", 1, Box::new(GreedySummarizer::base())),
+            (
+                "G-O",
+                1,
+                Box::new(GreedySummarizer::with_optimized_pruning()),
+            ),
+            ("E", 1, Box::new(ExactSummarizer::paper())),
+            ("E", 8, Box::new(ExactSummarizer::with_workers(8))),
+        ];
+        for (algorithm, workers, summarizer) in algorithms {
+            let outcome = run_batch(
+                &relation,
+                &engine_config,
+                summarizer.as_ref(),
+                &items,
+                config.timeout,
+            );
+            entries.push(Entry {
+                scenario: name.to_string(),
+                algorithm: algorithm.to_string(),
+                workers,
+                queries: items.len(),
+                solved: outcome.solved(),
+                wall_ms: outcome.elapsed.as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    // Kernel sweep: gains of every candidate fact, scan vs indexed, on
+    // the full flights catalog.
+    let dataset = scenario_dataset('F', &config);
+    let engine_config = single_target_config(&dataset, "cancelled");
+    let relation = target_relation(&dataset, &engine_config, "cancelled").expect("flights");
+    let catalog = FactCatalog::build(&relation, &(0..relation.dim_count()).collect::<Vec<_>>(), 2)
+        .expect("flights catalog");
+    let state = ResidualState::new(&relation);
+    let reps = 5;
+    let start = Instant::now();
+    let mut scan_sum = 0.0;
+    for _ in 0..reps {
+        for fact in catalog.facts() {
+            scan_sum += state.gain_of(&relation, fact);
+        }
+    }
+    let scan_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let start = Instant::now();
+    let mut indexed_sum = 0.0;
+    for _ in 0..reps {
+        for id in 0..catalog.len() {
+            indexed_sum += state.gain_indexed(catalog.fact_rows(id), catalog.fact_devs(id));
+        }
+    }
+    let indexed_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    assert!(
+        (scan_sum - indexed_sum).abs() < 1e-6 * reps as f64,
+        "kernel mismatch: scan {scan_sum} vs indexed {indexed_sum}"
+    );
+
+    let json = render_json(&config, &entries, &catalog, scan_ms, indexed_ms);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write BENCH_solver.json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn render_json(
+    config: &RunConfig,
+    entries: &[Entry],
+    catalog: &FactCatalog,
+    scan_ms: f64,
+    indexed_ms: f64,
+) -> String {
+    let mut lines = Vec::new();
+    lines.push("{".to_string());
+    lines.push("  \"schema\": \"vqs-bench-solver/v1\",".to_string());
+    lines.push(format!("  \"scale\": {},", config.scale));
+    lines.push(format!("  \"query_limit\": {},", config.query_limit));
+    lines.push("  \"entries\": [".to_string());
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        lines.push(format!(
+            "    {{\"scenario\": \"{}\", \"algorithm\": \"{}\", \"workers\": {}, \
+             \"queries\": {}, \"solved\": {}, \"wall_ms\": {:.3}}}{}",
+            e.scenario, e.algorithm, e.workers, e.queries, e.solved, e.wall_ms, comma
+        ));
+    }
+    lines.push("  ],".to_string());
+    lines.push("  \"kernel\": {".to_string());
+    lines.push(format!("    \"facts\": {},", catalog.len()));
+    lines.push(format!("    \"rows\": {},", catalog.rows()));
+    lines.push(format!("    \"gain_sweep_scan_ms\": {scan_ms:.3},"));
+    lines.push(format!("    \"gain_sweep_indexed_ms\": {indexed_ms:.3},"));
+    lines.push(format!(
+        "    \"speedup\": {:.2}",
+        if indexed_ms > 0.0 {
+            scan_ms / indexed_ms
+        } else {
+            9999.0
+        }
+    ));
+    lines.push("  }".to_string());
+    lines.push("}".to_string());
+    let mut json = lines.join("\n");
+    json.push('\n');
+    json
+}

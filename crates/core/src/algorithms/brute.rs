@@ -8,7 +8,7 @@ use crate::algorithms::{summary_from_ids, Problem, Summarizer, Summary};
 use crate::error::Result;
 use crate::instrument::Instrumentation;
 use crate::model::fact::FactId;
-use crate::model::utility::ResidualState;
+use crate::model::utility::{ResidualState, UndoArena};
 
 /// Exhaustive enumeration without any pruning.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,12 +26,14 @@ impl Summarizer for BruteForceSummarizer {
         let mut best: (f64, Vec<FactId>) = (f64::NEG_INFINITY, Vec::new());
         let mut chosen: Vec<FactId> = Vec::with_capacity(m);
         let mut state = ResidualState::new(problem.relation);
+        let mut arena = UndoArena::new();
         recurse(
             problem,
             0,
             m,
             &mut chosen,
             &mut state,
+            &mut arena,
             &mut best,
             &mut counters,
         );
@@ -39,12 +41,14 @@ impl Summarizer for BruteForceSummarizer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     problem: &Problem<'_>,
     start: usize,
     m: usize,
     chosen: &mut Vec<FactId>,
     state: &mut ResidualState,
+    arena: &mut UndoArena,
     best: &mut (f64, Vec<FactId>),
     counters: &mut Instrumentation,
 ) {
@@ -63,12 +67,13 @@ fn recurse(
     }
     for id in start..problem.catalog.len() {
         counters.nodes_expanded += 1;
-        let fact = problem.catalog.fact(id).clone();
-        let (_, undo) = state.apply_fact(problem.relation, &fact);
+        let (rows, devs) = problem.catalog.fact_index(id);
+        counters.index_row_touches += rows.len() as u64;
+        state.apply_indexed(rows, devs, arena);
         chosen.push(id);
-        recurse(problem, id + 1, m, chosen, state, best, counters);
+        recurse(problem, id + 1, m, chosen, state, arena, best, counters);
         chosen.pop();
-        state.revert(&undo);
+        state.revert_frame(arena);
     }
 }
 

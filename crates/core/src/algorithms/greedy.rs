@@ -11,7 +11,7 @@ use crate::algorithms::{summary_from_ids, Problem, Summarizer, Summary};
 use crate::error::Result;
 use crate::instrument::Instrumentation;
 use crate::model::fact::FactId;
-use crate::model::utility::ResidualState;
+use crate::model::utility::{ResidualState, UndoArena};
 
 /// Greedy fact selection with configurable pruning.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +56,7 @@ impl Summarizer for GreedySummarizer {
         let mut counters = Instrumentation::default();
         let mut residual = ResidualState::new(problem.relation);
         let mut chosen: Vec<FactId> = Vec::with_capacity(problem.max_facts);
+        let mut arena = UndoArena::new();
         // OPT PRUNE depends only on static group statistics: plan once.
         let plan = crate::algorithms::pruning::plan_for(problem, &self.pruning);
         for _ in 0..problem.max_facts {
@@ -68,9 +69,12 @@ impl Summarizer for GreedySummarizer {
             ) else {
                 break; // no fact improves expectations further
             };
-            // Line 11: recalculate user expectations.
-            let fact = problem.catalog.fact(fact_id).clone();
-            residual.apply_fact(problem.relation, &fact);
+            // Line 11: recalculate user expectations — through the
+            // catalog's inverted index, touching only in-scope rows.
+            let (rows, devs) = problem.catalog.fact_index(fact_id);
+            counters.index_row_touches += rows.len() as u64;
+            residual.apply_indexed(rows, devs, &mut arena);
+            arena.clear(); // greedy never backtracks
             chosen.push(fact_id);
         }
         Ok(summary_from_ids(problem, &chosen, counters))

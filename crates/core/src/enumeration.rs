@@ -55,11 +55,27 @@ impl FactGroup {
 }
 
 /// The candidate facts for one summarization problem.
+///
+/// Besides the per-group row→fact partitions, the catalog materializes a
+/// CSR-layout *inverted* index: for every fact, the rows within its scope
+/// (`fact_rows`) and the pre-computed deviation `|fact.value − v_r|` of
+/// each such row (`fact_devs`). The solver hot path
+/// ([`crate::model::utility::ResidualState::gain_indexed`] /
+/// [`crate::model::utility::ResidualState::apply_indexed`]) walks these
+/// slices instead of scanning all rows and re-decoding scopes per row —
+/// O(|scope|) work per fact instead of O(rows·dims).
 #[derive(Debug, Clone)]
 pub struct FactCatalog {
     facts: Vec<Fact>,
     groups: Vec<FactGroup>,
     rows: usize,
+    /// CSR offsets: the rows of fact `f` live at
+    /// `index_rows[index_offsets[f]..index_offsets[f + 1]]`.
+    index_offsets: Vec<usize>,
+    /// Row ids per fact, ascending within each fact.
+    index_rows: Vec<u32>,
+    /// `|fact.value − target(row)|`, aligned with `index_rows`.
+    index_devs: Vec<f64>,
 }
 
 impl FactCatalog {
@@ -124,10 +140,15 @@ impl FactCatalog {
                 ),
             });
         }
+        let (index_offsets, index_rows, index_devs) =
+            build_inverted_index(relation, &facts, &groups);
         Ok(FactCatalog {
             facts,
             groups,
             rows: relation.len(),
+            index_offsets,
+            index_rows,
+            index_devs,
         })
     }
 
@@ -238,6 +259,27 @@ impl FactCatalog {
             .fold(0.0, f64::max)
     }
 
+    /// Rows within the scope of `fact`, ascending (CSR inverted index).
+    #[inline]
+    pub fn fact_rows(&self, fact: FactId) -> &[u32] {
+        &self.index_rows[self.index_offsets[fact]..self.index_offsets[fact + 1]]
+    }
+
+    /// Pre-computed deviations `|fact.value − v_r|`, aligned with
+    /// [`FactCatalog::fact_rows`].
+    #[inline]
+    pub fn fact_devs(&self, fact: FactId) -> &[f64] {
+        &self.index_devs[self.index_offsets[fact]..self.index_offsets[fact + 1]]
+    }
+
+    /// Both CSR slices of one fact in a single bounds computation — the
+    /// shape the solver hot path consumes.
+    #[inline]
+    pub fn fact_index(&self, fact: FactId) -> (&[u32], &[f64]) {
+        let range = self.index_offsets[fact]..self.index_offsets[fact + 1];
+        (&self.index_rows[range.clone()], &self.index_devs[range])
+    }
+
     /// Single-fact utilities of every fact (used by the exact algorithm to
     /// order facts and bound expansions).
     pub fn single_fact_utilities(
@@ -295,6 +337,41 @@ fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
         }
     }
     out
+}
+
+/// Materialize the CSR inverted index from the per-group row→fact
+/// partitions: one counting sort per group, no scope matching. Every row
+/// appears once per group (the groups partition the rows), so the index
+/// holds exactly `rows × groups` entries.
+fn build_inverted_index(
+    relation: &EncodedRelation,
+    facts: &[Fact],
+    groups: &[FactGroup],
+) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+    let total = relation.len() * groups.len();
+    let mut offsets = vec![0usize; facts.len() + 1];
+    // Count rows per fact (shifted by one for the prefix sum).
+    for group in groups {
+        for &offset in &group.row_fact {
+            offsets[group.fact_start + offset as usize + 1] += 1;
+        }
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor: Vec<usize> = offsets[..facts.len()].to_vec();
+    let mut rows = vec![0u32; total];
+    let mut devs = vec![0.0f64; total];
+    for group in groups {
+        for (row, &offset) in group.row_fact.iter().enumerate() {
+            let fact = group.fact_start + offset as usize;
+            let slot = cursor[fact];
+            cursor[fact] += 1;
+            rows[slot] = row as u32;
+            devs[slot] = (facts[fact].value - relation.target(row)).abs();
+        }
+    }
+    (offsets, rows, devs)
 }
 
 fn build_group(
@@ -461,6 +538,43 @@ mod tests {
             }
         }
         assert_eq!(counters.bound_passes, 4);
+    }
+
+    #[test]
+    fn inverted_index_matches_scope_matching() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        for (id, fact) in catalog.facts().iter().enumerate() {
+            let expected: Vec<u32> = (0..r.len())
+                .filter(|&row| fact.scope.matches_row(&r, row))
+                .map(|row| row as u32)
+                .collect();
+            assert_eq!(catalog.fact_rows(id), expected.as_slice(), "fact {id}");
+            for (&row, &dev) in catalog.fact_rows(id).iter().zip(catalog.fact_devs(id)) {
+                let direct = (fact.value - r.target(row as usize)).abs();
+                assert_eq!(dev, direct, "fact {id} row {row}");
+            }
+            assert_eq!(catalog.fact_rows(id).len(), fact.support);
+        }
+        // The groups partition the rows, so the index holds rows × groups
+        // entries in total.
+        let total: usize = (0..catalog.len())
+            .map(|id| catalog.fact_rows(id).len())
+            .sum();
+        assert_eq!(total, r.len() * catalog.groups().len());
+    }
+
+    #[test]
+    fn indexed_gain_matches_scan_gain() {
+        let r = relation();
+        let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+        let state = ResidualState::new(&r);
+        for (id, fact) in catalog.facts().iter().enumerate() {
+            let (rows, devs) = catalog.fact_index(id);
+            let indexed = state.gain_indexed(rows, devs);
+            let scan = state.gain_of(&r, fact);
+            assert_eq!(indexed, scan, "fact {id}");
+        }
     }
 
     #[test]

@@ -13,6 +13,12 @@ pub struct Instrumentation {
     /// Row touches spent computing deviation upper bounds (the analogue of
     /// the group-by-only bound queries, `CD`).
     pub bound_row_touches: u64,
+    /// Row touches served by the catalog's CSR inverted index
+    /// ([`crate::enumeration::FactCatalog::fact_rows`]): only rows inside a
+    /// fact's scope, with the deviation pre-computed. The indexed solver
+    /// hot path accumulates here instead of `gain_row_touches`, making the
+    /// O(|scope|)-vs-O(rows·dims) saving directly visible.
+    pub index_row_touches: u64,
     /// Number of per-group gain passes executed.
     pub gain_passes: u64,
     /// Number of per-group bound passes executed.
@@ -38,6 +44,7 @@ impl Instrumentation {
     pub fn merge(&mut self, other: &Instrumentation) {
         self.gain_row_touches += other.gain_row_touches;
         self.bound_row_touches += other.bound_row_touches;
+        self.index_row_touches += other.index_row_touches;
         self.gain_passes += other.gain_passes;
         self.bound_passes += other.bound_passes;
         self.groups_pruned += other.groups_pruned;
@@ -68,6 +75,7 @@ mod tests {
         let b = Instrumentation {
             gain_row_touches: 5,
             bound_row_touches: 7,
+            index_row_touches: 11,
             groups_pruned: 2,
             store_lookups: 3,
             store_probes: 9,
@@ -76,6 +84,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.gain_row_touches, 15);
         assert_eq!(a.bound_row_touches, 7);
+        assert_eq!(a.index_row_touches, 11);
         assert_eq!(a.groups_pruned, 2);
         assert_eq!(a.total_row_touches(), 22);
         assert_eq!(a.store_lookups, 3);

@@ -64,6 +64,6 @@ pub mod prelude {
     pub use crate::instrument::Instrumentation;
     pub use crate::model::{
         base_error, speech_error, speech_error_under, utility, Dimension, EncodedRelation,
-        ExpectationModel, Fact, FactId, Prior, ResidualState, Scope, Speech,
+        ExpectationModel, Fact, FactId, Prior, ResidualState, Scope, Speech, UndoArena,
     };
 }

@@ -11,4 +11,6 @@ pub use expectation::ExpectationModel;
 pub use fact::{Fact, FactId, Scope};
 pub use relation::{Dimension, EncodedRelation, Prior};
 pub use speech::Speech;
-pub use utility::{base_error, speech_error, speech_error_under, utility, ResidualState};
+pub use utility::{
+    base_error, speech_error, speech_error_under, utility, ResidualState, UndoArena,
+};

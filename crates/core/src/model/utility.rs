@@ -150,6 +150,107 @@ impl ResidualState {
             self.residual[row] = previous;
         }
     }
+
+    /// Indexed variant of [`ResidualState::gain_of`]: the rows within the
+    /// fact's scope and their pre-computed deviations come from a
+    /// [`crate::enumeration::FactCatalog`] inverted index, so only
+    /// in-scope rows are touched and no per-row scope decoding happens.
+    pub fn gain_indexed(&self, rows: &[u32], devs: &[f64]) -> f64 {
+        let mut gain = 0.0;
+        for (&row, &dev) in rows.iter().zip(devs) {
+            let improvement = self.residual[row as usize] - dev;
+            if improvement > 0.0 {
+                gain += improvement;
+            }
+        }
+        gain
+    }
+
+    /// Indexed variant of [`ResidualState::apply_fact`]: touches only the
+    /// in-scope rows and records the undo information in `arena` (one
+    /// frame per call) instead of allocating a fresh undo vector. Returns
+    /// the realized gain. Revert with [`ResidualState::revert_frame`].
+    pub fn apply_indexed(&mut self, rows: &[u32], devs: &[f64], arena: &mut UndoArena) -> f64 {
+        let frame = UndoFrame {
+            mark: arena.entries.len(),
+            total_before: self.total,
+        };
+        let mut gain = 0.0;
+        for (&row, &dev) in rows.iter().zip(devs) {
+            let current = self.residual[row as usize];
+            if dev < current {
+                arena.entries.push((row, current));
+                gain += current - dev;
+                self.residual[row as usize] = dev;
+            }
+        }
+        self.total -= gain;
+        arena.frames.push(frame);
+        gain
+    }
+
+    /// Reverse the most recent un-reverted [`ResidualState::apply_indexed`].
+    ///
+    /// Restores the saved per-row residuals (newest first) and resets the
+    /// running total to its snapshot, so a revert is *bit-exact*: the
+    /// state after any apply/revert sequence depends only on the facts
+    /// currently applied, never on abandoned search branches. The
+    /// backtracking search relies on this to return byte-identical
+    /// speeches for any worker count.
+    ///
+    /// # Panics
+    /// Panics if `arena` holds no open frame (more reverts than applies).
+    pub fn revert_frame(&mut self, arena: &mut UndoArena) {
+        let frame = arena.frames.pop().expect("revert_frame without open frame");
+        for &(row, previous) in arena.entries[frame.mark..].iter().rev() {
+            self.residual[row as usize] = previous;
+        }
+        arena.entries.truncate(frame.mark);
+        self.total = frame.total_before;
+    }
+}
+
+/// One apply's bookkeeping inside an [`UndoArena`].
+#[derive(Debug, Clone, Copy)]
+struct UndoFrame {
+    /// First entry of this frame in the arena's entry stack.
+    mark: usize,
+    /// Exact running total before the apply, restored on revert.
+    total_before: f64,
+}
+
+/// Reusable undo storage for backtracking search over
+/// [`ResidualState::apply_indexed`] / [`ResidualState::revert_frame`].
+///
+/// A depth-first search applies and reverts one fact per tree edge; with a
+/// per-call undo `Vec` every node pays an allocation. The arena instead
+/// keeps one growing `(row, previous residual)` stack plus a frame stack
+/// marking where each apply started, so steady-state search allocates
+/// nothing. Frames must be reverted in LIFO order — exactly the order a
+/// DFS backtracks in.
+#[derive(Debug, Clone, Default)]
+pub struct UndoArena {
+    entries: Vec<(u32, f64)>,
+    frames: Vec<UndoFrame>,
+}
+
+impl UndoArena {
+    /// An empty arena.
+    pub fn new() -> UndoArena {
+        UndoArena::default()
+    }
+
+    /// Number of open (un-reverted) frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Drop all frames and entries without touching any residual state.
+    /// Useful for forward-only consumers (e.g. greedy) that never revert.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.frames.clear();
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +381,73 @@ mod tests {
         state.revert(&undo);
         assert_eq!(state.residuals(), before.as_slice());
         assert_eq!(state.total(), 120.0);
+    }
+
+    /// Rows/devs slices for a fact, the way `FactCatalog` materializes them.
+    fn index_of(r: &EncodedRelation, fact: &Fact) -> (Vec<u32>, Vec<f64>) {
+        let rows: Vec<u32> = (0..r.len())
+            .filter(|&row| fact.scope.matches_row(r, row))
+            .map(|row| row as u32)
+            .collect();
+        let devs: Vec<f64> = rows
+            .iter()
+            .map(|&row| (fact.value - r.target(row as usize)).abs())
+            .collect();
+        (rows, devs)
+    }
+
+    #[test]
+    fn indexed_kernel_matches_full_scan() {
+        let r = fig1();
+        let winter = Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4);
+        let north = Fact::new(scope(&r, &[("region", "North")]), 15.0, 4);
+        let mut scan = ResidualState::new(&r);
+        let mut indexed = ResidualState::new(&r);
+        let mut arena = UndoArena::new();
+        for fact in [&winter, &north] {
+            let (rows, devs) = index_of(&r, fact);
+            assert_eq!(indexed.gain_indexed(&rows, &devs), scan.gain_of(&r, fact));
+            let (scan_gain, _) = scan.apply_fact(&r, fact);
+            let indexed_gain = indexed.apply_indexed(&rows, &devs, &mut arena);
+            assert_eq!(indexed_gain, scan_gain);
+            assert_eq!(indexed.residuals(), scan.residuals());
+            assert_eq!(indexed.total(), scan.total());
+        }
+        assert_eq!(arena.depth(), 2);
+    }
+
+    #[test]
+    fn arena_revert_is_bit_exact_in_lifo_order() {
+        let r = fig1();
+        let winter = Fact::new(scope(&r, &[("season", "Winter")]), 15.0, 4);
+        let north = Fact::new(scope(&r, &[("region", "North")]), 15.0, 4);
+        let mut state = ResidualState::new(&r);
+        let before_any: Vec<f64> = state.residuals().to_vec();
+        let mut arena = UndoArena::new();
+        let (w_rows, w_devs) = index_of(&r, &winter);
+        let (n_rows, n_devs) = index_of(&r, &north);
+        state.apply_indexed(&w_rows, &w_devs, &mut arena);
+        let after_winter: Vec<f64> = state.residuals().to_vec();
+        let total_after_winter = state.total();
+        state.apply_indexed(&n_rows, &n_devs, &mut arena);
+        state.revert_frame(&mut arena);
+        assert_eq!(state.residuals(), after_winter.as_slice());
+        assert_eq!(state.total(), total_after_winter);
+        state.revert_frame(&mut arena);
+        assert_eq!(state.residuals(), before_any.as_slice());
+        assert_eq!(state.total(), 120.0);
+        assert_eq!(arena.depth(), 0);
+        arena.clear();
+        assert_eq!(arena.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "revert_frame without open frame")]
+    fn revert_without_frame_panics() {
+        let r = fig1();
+        let mut state = ResidualState::new(&r);
+        let mut arena = UndoArena::new();
+        state.revert_frame(&mut arena);
     }
 
     #[test]

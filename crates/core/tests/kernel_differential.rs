@@ -1,0 +1,149 @@
+//! Differential tests of the indexed solver hot path.
+//!
+//! Two invariants protect the ISSUE-3 optimizations:
+//!
+//! 1. The catalog's CSR inverted-index kernel
+//!    (`gain_indexed`/`apply_indexed`/`revert_frame`) agrees with the
+//!    original full-scan implementations (`gain_of`/`apply_fact`/`revert`)
+//!    on random relations, and reverts are bit-exact.
+//! 2. The parallel exact search returns the same speech as the sequential
+//!    search — utility, chosen facts, and timeout flag — for any worker
+//!    count.
+
+use proptest::prelude::*;
+
+use vqs_core::prelude::*;
+
+/// A small random relation (2 dimensions, bounded cardinalities) plus the
+/// per-row targets, generated from plain proptest collections so failures
+/// replay deterministically.
+fn arb_relation() -> impl Strategy<Value = EncodedRelation> {
+    (
+        prop::collection::vec((0u32..4, 0u32..3), 1..40),
+        0.0f64..30.0,
+    )
+        .prop_map(|(rows, prior)| {
+            let data: Vec<(Vec<String>, f64)> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    (
+                        vec![format!("a{a}"), format!("b{b}")],
+                        ((i * 7919) % 97) as f64,
+                    )
+                })
+                .collect();
+            let row_refs: Vec<(Vec<&str>, f64)> = data
+                .iter()
+                .map(|(v, t)| (v.iter().map(String::as_str).collect(), *t))
+                .collect();
+            EncodedRelation::from_rows(&["a", "b"], "y", row_refs, Prior::Constant(prior)).unwrap()
+        })
+}
+
+proptest! {
+    // Indexed gains equal full-scan gains for every candidate fact, both
+    // from the initial state and after a couple of facts were applied.
+    #[test]
+    fn indexed_gain_matches_full_scan(relation in arb_relation(), picks in prop::collection::vec(0usize..64, 0..3)) {
+        let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+        let mut state = ResidualState::new(&relation);
+        let mut arena = UndoArena::new();
+        for pick in picks {
+            let id = pick % catalog.len();
+            let (rows, devs) = (catalog.fact_rows(id), catalog.fact_devs(id));
+            state.apply_indexed(rows, devs, &mut arena);
+        }
+        for (id, fact) in catalog.facts().iter().enumerate() {
+            let indexed = state.gain_indexed(catalog.fact_rows(id), catalog.fact_devs(id));
+            let scan = state.gain_of(&relation, fact);
+            prop_assert!((indexed - scan).abs() < 1e-9, "fact {id}: {indexed} vs {scan}");
+        }
+    }
+
+    // Applying through the index mutates residuals exactly like the
+    // full-scan apply, and the arena revert restores the prior state
+    // bit-for-bit (residuals *and* running total).
+    #[test]
+    fn indexed_apply_and_revert_match_full_scan(relation in arb_relation(), picks in prop::collection::vec(0usize..64, 1..5)) {
+        let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+        let mut scan = ResidualState::new(&relation);
+        let mut indexed = ResidualState::new(&relation);
+        let mut arena = UndoArena::new();
+        let mut checkpoints: Vec<(Vec<f64>, f64)> = Vec::new();
+        for pick in &picks {
+            let id = pick % catalog.len();
+            checkpoints.push((indexed.residuals().to_vec(), indexed.total()));
+            let fact = catalog.fact(id).clone();
+            let (scan_gain, _) = scan.apply_fact(&relation, &fact);
+            let indexed_gain =
+                indexed.apply_indexed(catalog.fact_rows(id), catalog.fact_devs(id), &mut arena);
+            prop_assert!((indexed_gain - scan_gain).abs() < 1e-9);
+            for row in 0..relation.len() {
+                prop_assert!((indexed.residual(row) - scan.residual(row)).abs() < 1e-9);
+            }
+            prop_assert!((indexed.total() - scan.total()).abs() < 1e-9);
+        }
+        // Unwind in LIFO order: every checkpoint must be restored exactly.
+        prop_assert_eq!(arena.depth(), picks.len());
+        while let Some((residuals, total)) = checkpoints.pop() {
+            indexed.revert_frame(&mut arena);
+            prop_assert_eq!(indexed.residuals(), residuals.as_slice());
+            prop_assert_eq!(indexed.total().to_bits(), total.to_bits());
+        }
+        prop_assert_eq!(arena.depth(), 0);
+    }
+
+    // The parallel exact search is byte-identical to the sequential one:
+    // same utility bits, same chosen facts, same timeout flag, for
+    // workers ∈ {1, 2, 8}.
+    #[test]
+    fn parallel_exact_equals_sequential(relation in arb_relation(), max_facts in 1usize..4) {
+        let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+        let problem = Problem::new(&relation, &catalog, max_facts).unwrap();
+        let sequential = ExactSummarizer::paper().summarize(&problem).unwrap();
+        for workers in [1usize, 2, 8] {
+            let parallel = ExactSummarizer::with_workers(workers)
+                .summarize(&problem)
+                .unwrap();
+            prop_assert_eq!(
+                parallel.utility.to_bits(),
+                sequential.utility.to_bits(),
+                "workers {}", workers
+            );
+            prop_assert_eq!(parallel.speech.facts(), sequential.speech.facts(), "workers {}", workers);
+            prop_assert_eq!(parallel.timed_out, sequential.timed_out);
+            prop_assert_eq!(parallel.base_error.to_bits(), sequential.base_error.to_bits());
+        }
+    }
+
+    // The indexed exact search still matches the brute-force optimum.
+    #[test]
+    fn indexed_exact_matches_brute_force(relation in arb_relation()) {
+        let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+        let problem = Problem::new(&relation, &catalog, 2).unwrap();
+        let exact = ExactSummarizer::paper().summarize(&problem).unwrap();
+        let brute = BruteForceSummarizer.summarize(&problem).unwrap();
+        prop_assert!((exact.utility - brute.utility).abs() < 1e-9);
+    }
+}
+
+/// The indexed kernel touches exactly the in-scope rows: solving with the
+/// exact summarizer reports index row touches but no scan-based gain
+/// touches from the DFS (the single-fact utility pass still scans).
+#[test]
+fn exact_search_runs_on_the_index() {
+    let data: Vec<(Vec<&str>, f64)> = (0..60)
+        .map(|i| {
+            let a = ["x", "y", "z"][i % 3];
+            let b = ["p", "q"][i % 2];
+            (vec![a, b], (i % 13) as f64)
+        })
+        .collect();
+    let relation = EncodedRelation::from_rows(&["a", "b"], "y", data, Prior::GlobalMean).unwrap();
+    let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+    let problem = Problem::new(&relation, &catalog, 3).unwrap();
+    let summary = ExactSummarizer::paper().summarize(&problem).unwrap();
+    assert!(summary.instrumentation.index_row_touches > 0);
+    assert!(summary.instrumentation.nodes_expanded > 0);
+}

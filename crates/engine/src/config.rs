@@ -58,6 +58,12 @@ pub struct Configuration {
     /// candidate. On by default (Example 5's deployed speeches lead with
     /// the general value).
     pub include_overall_fact: bool,
+    /// Worker threads *inside* one exact-solver invocation (the parallel
+    /// branch-and-bound fan-out). Default 1: pre-processing already runs
+    /// one problem per pool worker, so nested parallelism only pays off
+    /// when a single huge instance dominates (or when solving
+    /// interactively). `0` = all available cores.
+    pub solver_workers: usize,
 }
 
 impl Default for Configuration {
@@ -70,6 +76,7 @@ impl Default for Configuration {
             max_fact_dimensions: 2,
             speech_length: 3,
             include_overall_fact: true,
+            solver_workers: 1,
         }
     }
 }
@@ -165,6 +172,7 @@ impl Configuration {
                 "max_query_length" => config.max_query_length = parse_usize(value)?,
                 "max_fact_dimensions" => config.max_fact_dimensions = parse_usize(value)?,
                 "speech_length" => config.speech_length = parse_usize(value)?,
+                "solver_workers" => config.solver_workers = parse_usize(value)?,
                 "include_overall_fact" => {
                     config.include_overall_fact = match value {
                         "true" | "yes" | "1" => true,
@@ -194,7 +202,8 @@ impl Configuration {
     pub fn to_config_string(&self) -> String {
         format!(
             "table = {}\ndimensions = {}\ntargets = {}\nmax_query_length = {}\n\
-             max_fact_dimensions = {}\nspeech_length = {}\ninclude_overall_fact = {}\n",
+             max_fact_dimensions = {}\nspeech_length = {}\ninclude_overall_fact = {}\n\
+             solver_workers = {}\n",
             self.table,
             self.dimensions.join(", "),
             self.targets.join(", "),
@@ -202,6 +211,7 @@ impl Configuration {
             self.max_fact_dimensions,
             self.speech_length,
             self.include_overall_fact,
+            self.solver_workers,
         )
     }
 }
@@ -232,6 +242,17 @@ speech_length = 3
         assert_eq!(config.max_query_length, 2);
         assert_eq!(config.max_fact_dimensions, 2); // default
         assert!(config.include_overall_fact);
+        assert_eq!(config.solver_workers, 1); // default: pool-level parallelism
+    }
+
+    #[test]
+    fn solver_workers_parse_and_roundtrip() {
+        let text = "dimensions = a\ntargets = t\nsolver_workers = 8";
+        let config = Configuration::parse(text).unwrap();
+        assert_eq!(config.solver_workers, 8);
+        let reparsed = Configuration::parse(&config.to_config_string()).unwrap();
+        assert_eq!(config, reparsed);
+        assert!(Configuration::parse("dimensions = a\ntargets = t\nsolver_workers = x").is_err());
     }
 
     #[test]

@@ -175,6 +175,19 @@ pub fn enumerate_queries(
     items
 }
 
+/// The paper's exact summarizer configured for this deployment: each
+/// solver invocation fans its branch-and-bound search over
+/// [`Configuration::solver_workers`] threads (default 1 — the
+/// pre-processing pool already parallelizes across queries; raise it when
+/// single huge instances dominate or when solving interactively). The
+/// stored speeches are byte-identical for every worker count.
+pub fn configured_exact(config: &Configuration) -> ExactSummarizer {
+    ExactSummarizer {
+        workers: config.solver_workers,
+        ..ExactSummarizer::paper()
+    }
+}
+
 /// Solve one work item into a stored speech.
 pub fn solve_item<S: Summarizer + ?Sized>(
     relation: &EncodedRelation,
@@ -600,6 +613,36 @@ mod tests {
             let a = s1.get(&query).unwrap();
             let b = s2.get(&query).unwrap();
             assert!((a.utility - b.utility).abs() < 1e-9, "{query}");
+        }
+    }
+
+    #[test]
+    fn configured_exact_store_is_identical_for_any_solver_worker_count() {
+        let data = tiny_dataset();
+        let mut cfg = config();
+        let options = PreprocessOptions {
+            workers: 2,
+            ..Default::default()
+        };
+        cfg.solver_workers = 1;
+        let (serial, _) = preprocess(&data, &cfg, &configured_exact(&cfg), &options).unwrap();
+        cfg.solver_workers = 8;
+        let solver = configured_exact(&cfg);
+        assert_eq!(solver.workers, 8);
+        let (parallel, _) = preprocess(&data, &cfg, &solver, &options).unwrap();
+        assert_eq!(serial.snapshot(), parallel.snapshot());
+        // Exact speeches are at least as good as greedy's.
+        let (greedy, _) = preprocess(
+            &data,
+            &cfg,
+            &GreedySummarizer::base(),
+            &PreprocessOptions::default(),
+        )
+        .unwrap();
+        for query in greedy.queries() {
+            let g = greedy.get(&query).unwrap();
+            let e = parallel.get(&query).unwrap();
+            assert!(e.utility >= g.utility - 1e-9, "{query}");
         }
     }
 

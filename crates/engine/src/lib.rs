@@ -53,8 +53,8 @@ pub mod prelude {
     pub use crate::error::{EngineError, Result};
     pub use crate::extensions::{ExtremumIndex, GroupAverage};
     pub use crate::generator::{
-        enumerate_queries, preprocess, refresh, solve_item, target_relation, PreprocessOptions,
-        PreprocessReport, RefreshReport, WorkItem,
+        configured_exact, enumerate_queries, preprocess, refresh, solve_item, target_relation,
+        PreprocessOptions, PreprocessReport, RefreshReport, WorkItem,
     };
     pub use crate::logsim::{
         complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,
