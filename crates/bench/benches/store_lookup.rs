@@ -1,7 +1,6 @@
 //! Run-time speech-store lookups (the Fig. 10 "our latency" path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vqs_core::prelude::GreedySummarizer;
 use vqs_data::{scenarios, DEFAULT_SEED};
 use vqs_engine::prelude::*;
 
@@ -9,13 +8,11 @@ fn bench_lookup(c: &mut Criterion) {
     let dataset = scenarios::flights_spec().generate(DEFAULT_SEED, 0.02);
     let dims: Vec<&str> = dataset.dims.iter().map(String::as_str).collect();
     let config = Configuration::new("flights", &dims, &["cancelled"]);
-    let (store, _) = preprocess(
-        &dataset,
-        &config,
-        &GreedySummarizer::with_optimized_pruning(),
-        &PreprocessOptions::default(),
-    )
-    .unwrap();
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(TenantSpec::new("flights", dataset, config))
+        .unwrap();
+    let store = service.tenant_store("flights").unwrap();
     let queries = store.queries();
     let exact = queries.iter().find(|q| q.len() == 1).unwrap().clone();
     // A query whose exact combination is absent: exercises the fallback.

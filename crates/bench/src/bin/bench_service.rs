@@ -1,0 +1,199 @@
+//! Service perf trajectory recorder: stands up a multi-tenant
+//! [`VoiceService`], measures per-tenant registration and lookup costs
+//! plus mixed-tenant respond throughput, and emits `BENCH_service.json`
+//! next to `BENCH_solver.json`. CI runs it as a smoke step (the output
+//! must be valid JSON; no thresholds are enforced — the committed
+//! baselines form the trajectory across PRs).
+//!
+//! Usage: `bench_service [--out PATH] [--scale X] [--requests N] [--threads T]`
+
+use std::time::Instant;
+
+use vqs_bench::{scenario_dataset, single_target_config, RunConfig};
+use vqs_engine::prelude::*;
+
+/// Per-tenant measurements in the emitted JSON.
+struct TenantEntry {
+    tenant: String,
+    speeches: usize,
+    queries: usize,
+    preprocess_ms: f64,
+    solver_ms: f64,
+    lookup_requests: usize,
+    speech_hits: usize,
+    lookup_ms: f64,
+    lookup_per_sec: f64,
+}
+
+/// The pinned tenants: the flights deployment plus ACS for a second data
+/// shape behind the same pool.
+const PINNED: [(&str, char, &str); 2] = [("flights", 'F', "cancelled"), ("acs", 'A', "hearing")];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut requests = 2_000usize;
+    let mut threads = 4usize;
+    let mut config = RunConfig {
+        scale: 0.02,
+        ..Default::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--scale" => config.scale = value("--scale").parse().expect("numeric scale"),
+            "--requests" => requests = value("--requests").parse().expect("numeric count"),
+            "--threads" => threads = value("--threads").parse().expect("numeric count"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let service = ServiceBuilder::new().build();
+    let mut entries: Vec<TenantEntry> = Vec::new();
+    let mut logs: Vec<(String, Vec<LogEntry>)> = Vec::new();
+    for (tenant, letter, target) in PINNED {
+        let dataset = scenario_dataset(letter, &config);
+        let engine_config = single_target_config(&dataset, target);
+        let relation = target_relation(&dataset, &engine_config, target).expect("pinned target");
+        let report = service
+            .register_dataset(TenantSpec::new(tenant, dataset, engine_config))
+            .expect("registration succeeds");
+
+        // A pure supported-query log drives the lookup benchmark; the
+        // spoken target phrase is the column name (underscores as
+        // spaces), exactly what the facade's extractor registered.
+        let mix = RequestMix {
+            name: "bench",
+            help: 0,
+            repeat: 0,
+            s_query: requests,
+            u_query: 0,
+            other: 0,
+        };
+        let phrase = target.replace('_', " ");
+        let log = generate_log(&relation, &phrase, &mix, 0xBE7C);
+        let start = Instant::now();
+        let mut speech_hits = 0usize;
+        for entry in &log {
+            let response = service.respond(&ServiceRequest::new(tenant, &entry.text));
+            if response.answer.is_speech() {
+                speech_hits += 1;
+            }
+        }
+        let lookup_secs = start.elapsed().as_secs_f64();
+        assert!(
+            speech_hits * 10 >= log.len() * 9,
+            "{tenant}: {speech_hits}/{} supported queries answered with a speech",
+            log.len()
+        );
+        entries.push(TenantEntry {
+            tenant: tenant.to_string(),
+            speeches: report.speeches,
+            queries: report.queries,
+            preprocess_ms: report.elapsed.as_secs_f64() * 1e3,
+            solver_ms: report.total_solver_time().as_secs_f64() * 1e3,
+            lookup_requests: log.len(),
+            speech_hits,
+            lookup_ms: lookup_secs * 1e3,
+            lookup_per_sec: log.len() as f64 / lookup_secs.max(1e-9),
+        });
+        logs.push((tenant.to_string(), log));
+    }
+
+    // Mixed-tenant throughput: `threads` clients interleave both
+    // tenants' logs against the shared service.
+    let start = Instant::now();
+    let mixed_total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let service = &service;
+                let logs = &logs;
+                scope.spawn(move || {
+                    let mut answered = 0usize;
+                    for round in 0..requests {
+                        let (tenant, log) = &logs[(worker + round) % logs.len()];
+                        let entry = &log[(worker * 7919 + round) % log.len()];
+                        let response = service.respond(&ServiceRequest::new(tenant, &entry.text));
+                        assert!(!response.text().is_empty());
+                        answered += 1;
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let mixed_secs = start.elapsed().as_secs_f64();
+
+    let json = render_json(
+        &config,
+        &entries,
+        threads,
+        mixed_total,
+        mixed_secs * 1e3,
+        mixed_total as f64 / mixed_secs.max(1e-9),
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write BENCH_service.json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn render_json(
+    config: &RunConfig,
+    entries: &[TenantEntry],
+    threads: usize,
+    mixed_requests: usize,
+    mixed_ms: f64,
+    mixed_per_sec: f64,
+) -> String {
+    let mut lines = Vec::new();
+    lines.push("{".to_string());
+    lines.push("  \"schema\": \"vqs-bench-service/v1\",".to_string());
+    lines.push(format!("  \"scale\": {},", config.scale));
+    lines.push("  \"tenants\": [".to_string());
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        lines.push(format!(
+            "    {{\"tenant\": \"{}\", \"speeches\": {}, \"queries\": {}, \
+             \"preprocess_ms\": {:.3}, \"solver_ms\": {:.3}, \"lookup_requests\": {}, \
+             \"speech_hits\": {}, \"lookup_ms\": {:.3}, \"lookup_per_sec\": {:.0}}}{}",
+            e.tenant,
+            e.speeches,
+            e.queries,
+            e.preprocess_ms,
+            e.solver_ms,
+            e.lookup_requests,
+            e.speech_hits,
+            e.lookup_ms,
+            e.lookup_per_sec,
+            comma
+        ));
+    }
+    lines.push("  ],".to_string());
+    lines.push("  \"mixed\": {".to_string());
+    lines.push(format!("    \"threads\": {threads},"));
+    lines.push(format!("    \"requests\": {mixed_requests},"));
+    lines.push(format!("    \"wall_ms\": {mixed_ms:.3},"));
+    lines.push(format!("    \"requests_per_sec\": {mixed_per_sec:.0}"));
+    lines.push("  }".to_string());
+    lines.push("}".to_string());
+    let mut json = lines.join("\n");
+    json.push('\n');
+    json
+}

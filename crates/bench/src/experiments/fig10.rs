@@ -9,7 +9,6 @@
 use std::time::{Duration, Instant};
 
 use vqs_baseline::sampling::{vocalize, SamplingConfig};
-use vqs_core::prelude::*;
 use vqs_engine::prelude::*;
 
 use crate::{fmt_duration, print_table, scenario_dataset, single_target_config, RunConfig};
@@ -26,16 +25,15 @@ pub fn run(config: &RunConfig) {
     for (letter, target) in deployments {
         let dataset = scenario_dataset(letter, config);
         let engine_config = single_target_config(&dataset, target);
-        let (store, report) = preprocess(
-            &dataset,
-            &engine_config,
-            &GreedySummarizer::with_optimized_pruning(),
-            &PreprocessOptions {
-                workers: config.workers,
-                ..Default::default()
-            },
-        )
-        .expect("pre-processing succeeds");
+        let service = ServiceBuilder::new().workers(config.workers).build();
+        let report = service
+            .register_dataset(TenantSpec::new(
+                "fig10",
+                dataset.clone(),
+                engine_config.clone(),
+            ))
+            .expect("pre-processing succeeds");
+        let store = service.tenant_store("fig10").expect("tenant registered");
 
         // Run-time latency: look up a sample of supported queries.
         let relation = target_relation(&dataset, &engine_config, target).expect("target exists");

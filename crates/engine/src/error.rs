@@ -18,6 +18,16 @@ pub enum EngineError {
         /// The column name.
         column: String,
     },
+    /// A service operation addressed a tenant that is not registered.
+    UnknownTenant {
+        /// The tenant name.
+        name: String,
+    },
+    /// A dataset was registered under a name that is already taken.
+    DuplicateTenant {
+        /// The tenant name.
+        name: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +41,12 @@ impl fmt::Display for EngineError {
                     f,
                     "configured column '{column}' not present in the data set"
                 )
+            }
+            EngineError::UnknownTenant { name } => {
+                write!(f, "no tenant '{name}' is registered with this service")
+            }
+            EngineError::DuplicateTenant { name } => {
+                write!(f, "a tenant named '{name}' is already registered")
             }
         }
     }
@@ -73,5 +89,13 @@ mod tests {
             column: "delay".into(),
         };
         assert!(e.to_string().contains("delay"));
+        let e = EngineError::UnknownTenant {
+            name: "flights".into(),
+        };
+        assert!(e.to_string().contains("no tenant 'flights'"));
+        let e = EngineError::DuplicateTenant {
+            name: "flights".into(),
+        };
+        assert!(e.to_string().contains("already registered"));
     }
 }

@@ -29,8 +29,33 @@ use vqs_relalg::hash::{FxHashMap, FxHashSet};
 use crate::config::Configuration;
 use crate::error::{EngineError, Result};
 use crate::problem::{NamedFact, Query, StoredSpeech};
+use crate::service::SolverPool;
 use crate::store::SpeechStore;
 use crate::template::SpeechTemplate;
+
+/// How a batch of solver jobs is executed.
+///
+/// The legacy free functions spawn a scoped thread pool per call
+/// ([`Workers::Scoped`]); the [`crate::service::VoiceService`] facade
+/// reuses one long-lived [`SolverPool`] across all tenants
+/// ([`Workers::Pool`]). Both run the identical work-stealing loop, so the
+/// produced stores are byte-identical.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Workers<'p> {
+    /// Spawn `n` scoped threads for this call only.
+    Scoped(usize),
+    /// Run on the shared long-lived pool.
+    Pool(&'p SolverPool),
+}
+
+impl Workers<'_> {
+    fn available(&self) -> usize {
+        match self {
+            Workers::Scoped(n) => *n,
+            Workers::Pool(pool) => pool.workers(),
+        }
+    }
+}
 
 /// One pre-processing work item: a query and the rows of its data subset.
 #[derive(Debug, Clone)]
@@ -64,7 +89,7 @@ impl Default for PreprocessOptions {
 
 /// Aggregate report of one pre-processing run (feeds Fig. 10's
 /// per-query pre-processing time).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PreprocessReport {
     /// Queries generated (= speeches attempted).
     pub queries: usize,
@@ -72,6 +97,10 @@ pub struct PreprocessReport {
     pub speeches: usize,
     /// Wall-clock time of the whole batch.
     pub elapsed: Duration,
+    /// Summed wall-clock time spent inside the solver across all queries
+    /// (CPU-side effort; exceeds `elapsed` when workers solve in
+    /// parallel).
+    pub solver_time: Duration,
     /// Summed work counters across all problems, merged in job order
     /// from the per-worker partials.
     pub instrumentation: Instrumentation,
@@ -86,10 +115,17 @@ impl PreprocessReport {
             self.elapsed / self.queries as u32
         }
     }
+
+    /// Total wall-clock time spent solving summarization problems, summed
+    /// over all queries and workers.
+    pub fn total_solver_time(&self) -> Duration {
+        self.solver_time
+    }
 }
 
-/// Aggregate report of one [`refresh`] run.
-#[derive(Debug, Clone)]
+/// Aggregate report of one refresh run (see
+/// [`crate::service::VoiceService::refresh_tenant`]).
+#[derive(Debug, Clone, Default)]
 pub struct RefreshReport {
     /// Queries enumerated over the new data (across all targets).
     pub queries: usize,
@@ -102,6 +138,8 @@ pub struct RefreshReport {
     pub removed: usize,
     /// Wall-clock time of the whole refresh.
     pub elapsed: Duration,
+    /// Summed wall-clock solver time of the recomputed problems.
+    pub solver_time: Duration,
     /// Summed work counters of the recomputed problems only.
     pub instrumentation: Instrumentation,
 }
@@ -293,62 +331,72 @@ fn run_jobs<S: Summarizer + Sync + ?Sized>(
     jobs: &[(usize, usize)],
     config: &Configuration,
     summarizer: &S,
-    workers: usize,
-) -> Result<Vec<(StoredSpeech, Instrumentation)>> {
+    workers: Workers<'_>,
+) -> Result<(Vec<(StoredSpeech, Instrumentation)>, Duration)> {
     if jobs.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), Duration::ZERO));
     }
-    let worker_count = workers.max(1).min(jobs.len());
+    let worker_count = workers.available().max(1).min(jobs.len());
     let next = AtomicUsize::new(0);
     let cancelled = AtomicBool::new(false);
     type WorkerOutput = (
         Vec<(usize, (StoredSpeech, Instrumentation))>,
         Option<(usize, EngineError)>,
+        Duration,
     );
-    let per_worker: Vec<WorkerOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..worker_count)
-            .map(|_| {
-                let next = &next;
-                let cancelled = &cancelled;
-                scope.spawn(move || {
-                    let mut solved = Vec::new();
-                    let mut failure: Option<(usize, EngineError)> = None;
-                    while !cancelled.load(Ordering::Relaxed) {
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= jobs.len() {
-                            break;
-                        }
-                        let (plan_index, item_index) = jobs[job];
-                        let plan = &plans[plan_index];
-                        match solve_item(
-                            &plan.relation,
-                            config,
-                            summarizer,
-                            &plan.template,
-                            &plan.items[item_index],
-                        ) {
-                            Ok(result) => solved.push((job, result)),
-                            Err(error) => {
-                                failure = Some((job, error));
-                                cancelled.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                    }
-                    (solved, failure)
+    let worker_body = |_worker: usize| -> WorkerOutput {
+        let mut solved = Vec::new();
+        let mut failure: Option<(usize, EngineError)> = None;
+        let mut solver_time = Duration::ZERO;
+        while !cancelled.load(Ordering::Relaxed) {
+            let job = next.fetch_add(1, Ordering::Relaxed);
+            if job >= jobs.len() {
+                break;
+            }
+            let (plan_index, item_index) = jobs[job];
+            let plan = &plans[plan_index];
+            let solve_start = Instant::now();
+            let outcome = solve_item(
+                &plan.relation,
+                config,
+                summarizer,
+                &plan.template,
+                &plan.items[item_index],
+            );
+            solver_time += solve_start.elapsed();
+            match outcome {
+                Ok(result) => solved.push((job, result)),
+                Err(error) => {
+                    failure = Some((job, error));
+                    cancelled.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        (solved, failure, solver_time)
+    };
+    let per_worker: Vec<WorkerOutput> = match workers {
+        Workers::Pool(pool) => pool.scatter(worker_count, worker_body),
+        Workers::Scoped(_) => std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..worker_count)
+                .map(|worker| {
+                    let worker_body = &worker_body;
+                    scope.spawn(move || worker_body(worker))
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("pre-processing worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("pre-processing worker panicked"))
+                .collect()
+        }),
+    };
 
     let mut solved = Vec::with_capacity(jobs.len());
     let mut first_failure: Option<(usize, EngineError)> = None;
-    for (worker_solved, failure) in per_worker {
+    let mut solver_time = Duration::ZERO;
+    for (worker_solved, failure, worker_time) in per_worker {
         solved.extend(worker_solved);
+        solver_time += worker_time;
         if let Some((index, error)) = failure {
             if first_failure.as_ref().is_none_or(|(best, _)| index < *best) {
                 first_failure = Some((index, error));
@@ -359,16 +407,47 @@ fn run_jobs<S: Summarizer + Sync + ?Sized>(
         return Err(error);
     }
     solved.sort_by_key(|(index, _)| *index);
-    Ok(solved.into_iter().map(|(_, result)| result).collect())
+    Ok((
+        solved.into_iter().map(|(_, result)| result).collect(),
+        solver_time,
+    ))
 }
 
 /// Run the full pre-processing batch: every target, every query, over one
 /// work-stealing pool. Returns the populated speech store and a report.
+///
+/// This is the legacy single-deployment entry point. New code should
+/// register the dataset with a [`crate::service::VoiceService`], which
+/// owns the store, reuses one long-lived solver pool across tenants, and
+/// produces byte-identical stores (asserted by the integration suite).
+#[deprecated(
+    since = "0.2.0",
+    note = "register the dataset with a `VoiceService` (see `service::ServiceBuilder`); \
+            the facade owns the store and shares one solver pool across tenants"
+)]
 pub fn preprocess<S: Summarizer + Sync + ?Sized>(
     dataset: &GeneratedDataset,
     config: &Configuration,
     summarizer: &S,
     options: &PreprocessOptions,
+) -> Result<(SpeechStore, PreprocessReport)> {
+    preprocess_with(
+        dataset,
+        config,
+        summarizer,
+        options,
+        Workers::Scoped(options.workers),
+    )
+}
+
+/// Pre-processing over an explicit executor; the shared implementation
+/// behind the deprecated [`preprocess`] shim and the service facade.
+pub(crate) fn preprocess_with<S: Summarizer + Sync + ?Sized>(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    summarizer: &S,
+    options: &PreprocessOptions,
+    workers: Workers<'_>,
 ) -> Result<(SpeechStore, PreprocessReport)> {
     config.validate()?;
     let start = Instant::now();
@@ -379,7 +458,7 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
         .flat_map(|(plan_index, plan)| (0..plan.items.len()).map(move |i| (plan_index, i)))
         .collect();
     let total_queries = jobs.len();
-    let solved = run_jobs(&plans, &jobs, config, summarizer, options.workers)?;
+    let (solved, solver_time) = run_jobs(&plans, &jobs, config, summarizer, workers)?;
 
     let store = SpeechStore::new();
     let mut instrumentation = Instrumentation::default();
@@ -398,6 +477,7 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
             queries: total_queries,
             speeches,
             elapsed: start.elapsed(),
+            solver_time,
             instrumentation,
         },
     ))
@@ -421,7 +501,12 @@ pub fn preprocess<S: Summarizer + Sync + ?Sized>(
 /// Stored queries whose value combination vanished are removed. All other
 /// entries are left untouched — the same [`std::sync::Arc`] keeps serving
 /// — so after a refresh the store is element-wise identical to a full
-/// [`preprocess`] over the new data.
+/// pre-processing pass over the new data.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `VoiceService::refresh_tenant` (see `service::ServiceBuilder`); the facade \
+            serializes refreshes per tenant and reuses the shared solver pool"
+)]
 pub fn refresh<S: Summarizer + Sync + ?Sized>(
     dataset: &GeneratedDataset,
     config: &Configuration,
@@ -429,6 +514,30 @@ pub fn refresh<S: Summarizer + Sync + ?Sized>(
     options: &PreprocessOptions,
     store: &SpeechStore,
     changed_rows: &[usize],
+) -> Result<RefreshReport> {
+    refresh_with(
+        dataset,
+        config,
+        summarizer,
+        options,
+        store,
+        changed_rows,
+        Workers::Scoped(options.workers),
+    )
+}
+
+/// Delta re-summarization over an explicit executor; the shared
+/// implementation behind the deprecated [`refresh`] shim and
+/// [`crate::service::VoiceService::refresh_tenant`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    summarizer: &S,
+    options: &PreprocessOptions,
+    store: &SpeechStore,
+    changed_rows: &[usize],
+    workers: Workers<'_>,
 ) -> Result<RefreshReport> {
     config.validate()?;
     let start = Instant::now();
@@ -477,7 +586,7 @@ pub fn refresh<S: Summarizer + Sync + ?Sized>(
         }
     }
 
-    let solved = run_jobs(&plans, &jobs, config, summarizer, options.workers)?;
+    let (solved, solver_time) = run_jobs(&plans, &jobs, config, summarizer, workers)?;
     // Everything solved: from here on the store mutates without fallible
     // steps in between.
     let removed = stale.len();
@@ -500,11 +609,16 @@ pub fn refresh<S: Summarizer + Sync + ?Sized>(
         kept,
         removed,
         elapsed: start.elapsed(),
+        solver_time,
         instrumentation,
     })
 }
 
+// The legacy free functions stay under test as long as the deprecated
+// shims exist; the facade path is covered by `service::tests` and the
+// `vqs-integration` service suite.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use vqs_data::{DimSpec, SynthSpec, TargetSpec};
@@ -579,6 +693,9 @@ mod tests {
         assert_eq!(report.speeches, 24);
         assert_eq!(store.len(), 24);
         assert!(report.per_query() > Duration::ZERO);
+        // Solver effort is accounted per item, so it is positive and at
+        // least roughly commensurate with the wall clock of a serial run.
+        assert!(report.total_solver_time() > Duration::ZERO);
         // Every stored speech has at most speech_length facts and text.
         for query in store.queries() {
             let speech = store.get(&query).unwrap();

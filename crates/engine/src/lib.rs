@@ -1,19 +1,20 @@
 //! # vqs-engine — the end-to-end voice query system (Fig. 2)
 //!
-//! Pre-processing side: a [`config::Configuration`] describes the queries
-//! to support; the [`generator`] enumerates one speech-summarization
-//! problem per (target, predicate-combination) and solves them over a
-//! work-stealing worker pool, filling the sharded, lock-striped
-//! [`store::SpeechStore`]; [`generator::refresh`] re-summarizes only the
-//! queries whose data subset changed. Run-time side: the
-//! [`nlq::Extractor`] maps request text to queries, the store serves the
-//! most specific pre-generated speech, and [`voice::VoiceSession`] wraps
-//! the loop with help/repeat handling and latency accounting.
-//! [`logsim`] replays the §VIII-D public-deployment workload.
+//! The primary API is the multi-tenant [`service::VoiceService`] facade:
+//! a [`ServiceBuilder`](service::ServiceBuilder) spawns one shared,
+//! long-lived solver pool; each registered [`service::TenantSpec`]
+//! (dataset + [`config::Configuration`]) gets its queries enumerated and
+//! solved into its own sharded, lock-striped [`store::SpeechStore`]; and
+//! live traffic flows through the typed pipeline
+//! [`service::ServiceRequest`] → [`service::ServiceResponse`], whose
+//! [`service::Answer`] enum distinguishes stored speeches, extension
+//! answers, help, and apologies. Delta refreshes
+//! ([`service::VoiceService::refresh_tenant`]) re-summarize only the
+//! queries whose data subset changed. [`logsim`] replays the §VIII-D
+//! public-deployment workload.
 //!
 //! ```
 //! use vqs_engine::prelude::*;
-//! use vqs_core::prelude::GreedySummarizer;
 //! use vqs_data::{DimSpec, SynthSpec, TargetSpec};
 //!
 //! let data = SynthSpec {
@@ -23,15 +24,26 @@
 //!     rows: 200,
 //! }.generate(1, 1.0);
 //!
-//! let config = Configuration::new("demo", &["season"], &["delay"]);
-//! let (store, report) = preprocess(
-//!     &data, &config, &GreedySummarizer::with_optimized_pruning(),
-//!     &PreprocessOptions::default(),
-//! ).unwrap();
+//! let service = ServiceBuilder::new().workers(2).build();
+//! let report = service
+//!     .register_dataset(TenantSpec::new(
+//!         "demo",
+//!         data,
+//!         Configuration::new("demo", &["season"], &["delay"]),
+//!     ))
+//!     .unwrap();
 //! assert_eq!(report.speeches, 3); // overall + two seasons
-//! let answer = store.lookup(&Query::of("delay", &[("season", "Winter")]));
-//! assert!(answer.speech().is_some());
+//!
+//! let response = service.respond(&ServiceRequest::new("demo", "delay in Winter?"));
+//! match &response.answer {
+//!     Answer::Speech { speech, .. } => assert!(speech.text.contains("Winter")),
+//!     other => panic!("expected a stored speech, got {other:?}"),
+//! }
 //! ```
+//!
+//! The pre-facade free functions (`generator::preprocess`,
+//! `generator::refresh`, text-only `VoiceResponse`) remain as
+//! `#[deprecated]` shims; see the README migration table.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,6 +55,7 @@ pub mod generator;
 pub mod logsim;
 pub mod nlq;
 pub mod problem;
+pub mod service;
 pub mod store;
 pub mod template;
 pub mod voice;
@@ -53,16 +66,24 @@ pub mod prelude {
     pub use crate::error::{EngineError, Result};
     pub use crate::extensions::{ExtremumIndex, GroupAverage};
     pub use crate::generator::{
-        configured_exact, enumerate_queries, preprocess, refresh, solve_item, target_relation,
-        PreprocessOptions, PreprocessReport, RefreshReport, WorkItem,
+        configured_exact, enumerate_queries, solve_item, target_relation, PreprocessOptions,
+        PreprocessReport, RefreshReport, WorkItem,
     };
+    #[allow(deprecated)]
+    pub use crate::generator::{preprocess, refresh};
     pub use crate::logsim::{
         complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,
         FIG9_TYPES, TABLE3,
     };
     pub use crate::nlq::{Extractor, Request, Unsupported};
     pub use crate::problem::{NamedFact, Query, StoredSpeech};
+    pub use crate::service::{
+        Answer, ServiceBuilder, ServiceRequest, ServiceResponse, ServiceStats, SolverPool,
+        TenantSpec, TenantStats, VoiceService,
+    };
     pub use crate::store::{Lookup, SpeechStore, StoreStats, DEFAULT_SHARDS};
     pub use crate::template::{format_value, speaking_time_secs, SpeechTemplate, ValueStyle};
-    pub use crate::voice::{VoiceResponse, VoiceSession};
+    #[allow(deprecated)]
+    pub use crate::voice::VoiceResponse;
+    pub use crate::voice::VoiceSession;
 }

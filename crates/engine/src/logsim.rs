@@ -7,6 +7,10 @@
 //! ([`crate::nlq::Extractor`]). Tests assert the classifier tabulates the
 //! generated logs back to the paper's counts, validating the
 //! classification pipeline end to end.
+//!
+//! Replays against a live deployment go through the facade:
+//! [`crate::service::VoiceService::replay`] tabulates a log with the
+//! addressed tenant's registered extractor.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -11,8 +11,10 @@
 //! Fig. 9.
 
 use vqs_core::prelude::EncodedRelation;
+use vqs_data::GeneratedDataset;
 use vqs_relalg::hash::FxHashMap;
 
+use crate::config::Configuration;
 use crate::problem::Query;
 
 /// Why a data-access request is unsupported (the §VIII-D examples:
@@ -106,6 +108,40 @@ impl Extractor {
             unavailable_markers: Vec::new(),
             max_query_length,
         }
+    }
+
+    /// Build the extractor for a whole deployment: value dictionaries
+    /// from the configured dimension columns, and the spoken name of
+    /// *every* configured target (underscores spoken as spaces). This is
+    /// how the [`crate::service::VoiceService`] facade wires tenants;
+    /// add richer phrasings with [`Extractor::with_target_synonyms`].
+    pub fn for_deployment(
+        dataset: &GeneratedDataset,
+        config: &Configuration,
+    ) -> crate::error::Result<Extractor> {
+        let first = config
+            .targets
+            .first()
+            .ok_or_else(|| crate::config::ConfigError::Invalid {
+                detail: "no targets configured".into(),
+            })?;
+        // Dimension dictionaries are identical for every target; one
+        // relation supplies them all.
+        let relation = crate::generator::target_relation(dataset, config, first)?;
+        let mut extractor = Extractor::from_relation(&relation, config.max_query_length);
+        for target in &config.targets[1..] {
+            // Validate the remaining target columns exist up front (a
+            // schema probe, not a full re-encode), so a bad
+            // configuration fails at registration, not at query time.
+            if dataset.table.schema().index_of(target).is_err() {
+                return Err(crate::error::EngineError::MissingColumn {
+                    column: target.clone(),
+                });
+            }
+            let spoken = target.replace('_', " ");
+            extractor = extractor.with_target_synonyms(target, &[spoken.as_str()]);
+        }
+        Ok(extractor)
     }
 
     /// Register phrases marking data the deployment does not cover.
@@ -315,6 +351,33 @@ mod tests {
         assert!(!contains_phrase("winterization report", "winter"));
         assert!(contains_phrase("the east region", "east"));
         assert!(!contains_phrase("northeastern", "east"));
+    }
+
+    #[test]
+    fn for_deployment_covers_every_target() {
+        use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+        let dataset = SynthSpec {
+            name: "dep".to_string(),
+            dims: vec![DimSpec::named("season", &["Winter", "Summer"])],
+            targets: vec![
+                TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0)),
+                TargetSpec::new("wait_time", 30.0, 10.0, 4.0, (0.0, 100.0)),
+            ],
+            rows: 80,
+        }
+        .generate(3, 1.0);
+        let config = Configuration::new("dep", &["season"], &["delay", "wait_time"]);
+        let ex = Extractor::for_deployment(&dataset, &config).unwrap();
+        assert_eq!(ex.extract_target("the delay in winter"), Some("delay"));
+        // The second target's spoken form (underscore as space) works.
+        assert_eq!(ex.extract_target("wait time in summer"), Some("wait_time"));
+        match ex.classify("wait time in Winter") {
+            Request::Query(q) => assert_eq!(q.target(), "wait_time"),
+            other => panic!("expected query, got {other:?}"),
+        }
+        // A missing target column fails at construction time.
+        let bad = Configuration::new("dep", &["season"], &["delay", "nonexistent"]);
+        assert!(Extractor::for_deployment(&dataset, &bad).is_err());
     }
 
     #[test]

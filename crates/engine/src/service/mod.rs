@@ -1,0 +1,1129 @@
+//! The multi-tenant deployment facade (the primary public API).
+//!
+//! The paper's Fig. 2 architecture is a long-running *service*:
+//! pre-processing fills a speech store that then answers live voice
+//! traffic. [`VoiceService`] packages that architecture for production:
+//! it owns a registry of named **tenants** (each tenant = one dataset +
+//! [`Configuration`] + its own sharded [`SpeechStore`] + per-tenant
+//! instrumentation roll-up), runs every tenant's pre-processing and
+//! delta refreshes on one **shared long-lived [`SolverPool`]**, and
+//! answers requests through a typed pipeline
+//! [`ServiceRequest`] → [`ServiceResponse`] whose [`Answer`] enum
+//! replaces the stringly `VoiceResponse` of the old free-function API.
+//!
+//! ```
+//! use vqs_engine::prelude::*;
+//! use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+//!
+//! let data = SynthSpec {
+//!     name: "demo".into(),
+//!     dims: vec![DimSpec::named("season", &["Winter", "Summer"])],
+//!     targets: vec![TargetSpec::new("delay", 15.0, 6.0, 2.0, (0.0, 60.0))],
+//!     rows: 200,
+//! }.generate(1, 1.0);
+//! let config = Configuration::new("demo", &["season"], &["delay"]);
+//!
+//! let service = ServiceBuilder::new().workers(2).build();
+//! let report = service
+//!     .register_dataset(TenantSpec::new("demo", data, config))
+//!     .unwrap();
+//! assert_eq!(report.speeches, 3); // overall + two seasons
+//!
+//! let response = service.respond(&ServiceRequest::new("demo", "delay in Winter?"));
+//! assert!(matches!(response.answer, Answer::Speech { .. }));
+//! ```
+
+mod pool;
+
+pub use pool::SolverPool;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use vqs_core::prelude::{GreedySummarizer, Instrumentation, Summarizer};
+use vqs_data::GeneratedDataset;
+use vqs_relalg::hash::FxHashMap;
+
+use crate::config::Configuration;
+use crate::error::{EngineError, Result};
+use crate::extensions::ExtremumIndex;
+use crate::generator::{
+    preprocess_with, refresh_with, target_relation, PreprocessOptions, PreprocessReport,
+    RefreshReport, Workers,
+};
+use crate::logsim::{tabulate, LogEntry};
+use crate::nlq::{Extractor, Request, Unsupported};
+use crate::problem::StoredSpeech;
+use crate::store::{Lookup, SpeechStore, StoreStats};
+use crate::template::{speaking_time_secs, SpeechTemplate};
+use crate::voice::VoiceSession;
+
+/// Spoken fallback when a supported query has no stored speech.
+pub(crate) const NO_SUMMARY: &str = "I have no summary for that topic yet.";
+/// Spoken fallback for unintelligible input.
+pub(crate) const NOT_UNDERSTOOD: &str = "Sorry, I did not understand. Say 'help' for examples.";
+/// Spoken fallback for a repeat request with no conversation history.
+pub(crate) const NOTHING_TO_REPEAT: &str = "I have not said anything yet.";
+/// Apology for extremum queries with no extension index.
+pub(crate) const EXTREMUM_APOLOGY: &str = "I can only summarize averages, not find extremes.";
+/// Apology for comparison queries with no extension index.
+pub(crate) const COMPARISON_APOLOGY: &str =
+    "I cannot compare data subsets directly; ask about one subset at a time.";
+/// Apology for data outside the deployment.
+pub(crate) const UNAVAILABLE: &str = "That data is not part of this deployment.";
+/// Spoken text of [`Answer::UnknownTenant`].
+pub(crate) const UNKNOWN_TENANT: &str = "I do not know that data set.";
+
+/// One incoming voice request, addressed to a tenant by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRequest {
+    /// Registered tenant (dataset) the request targets.
+    pub tenant: String,
+    /// Raw utterance text.
+    pub text: String,
+}
+
+impl ServiceRequest {
+    /// Build a request.
+    pub fn new(tenant: impl Into<String>, text: impl Into<String>) -> ServiceRequest {
+        ServiceRequest {
+            tenant: tenant.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// What the service answered — the typed replacement for the old
+/// text-only response. Every variant still carries (or derives) a spoken
+/// form via [`Answer::text`], but callers can now branch on structure
+/// instead of string-matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// A pre-generated speech served from the tenant's store.
+    Speech {
+        /// The stored speech (shared, never deep-copied).
+        speech: Arc<StoredSpeech>,
+        /// `None` for an exact hit; `Some(k)` when the §III
+        /// generalization fallback answered with `k` of the query's
+        /// predicates retained.
+        kept_predicates: Option<usize>,
+    },
+    /// Answered by a pre-computed extension index (extremum/comparison).
+    Extension {
+        /// Spoken answer.
+        text: String,
+    },
+    /// Usage guidance: explicit help requests, unintelligible input, and
+    /// repeat requests without history all resolve here.
+    Help {
+        /// Spoken guidance.
+        text: String,
+    },
+    /// A recognized data-access request the deployment cannot answer.
+    Unsupported {
+        /// Why the request is unsupported.
+        reason: Unsupported,
+        /// Spoken apology.
+        text: String,
+    },
+    /// A supported query with no stored speech — distinct from
+    /// [`Answer::Unsupported`] so callers can tell "nothing generated
+    /// for this combination (yet)" from "outside the deployment".
+    NoSummary {
+        /// The classified query that missed.
+        query: crate::problem::Query,
+    },
+    /// The request named a tenant that is not registered.
+    UnknownTenant {
+        /// The unknown tenant name.
+        tenant: String,
+    },
+}
+
+impl Answer {
+    /// The spoken form of this answer.
+    pub fn text(&self) -> &str {
+        match self {
+            Answer::Speech { speech, .. } => &speech.text,
+            Answer::Extension { text }
+            | Answer::Help { text }
+            | Answer::Unsupported { text, .. } => text,
+            Answer::NoSummary { .. } => NO_SUMMARY,
+            Answer::UnknownTenant { .. } => UNKNOWN_TENANT,
+        }
+    }
+
+    /// True when a pre-generated speech was served.
+    pub fn is_speech(&self) -> bool {
+        matches!(self, Answer::Speech { .. })
+    }
+}
+
+/// One answered request: the classification, the typed answer, and the
+/// latency/speaking-time accounting of the old response type.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The tenant that answered (echoed from the request; empty for
+    /// free-standing sessions without a tenant label).
+    pub tenant: String,
+    /// The classified request; `None` only when the tenant was unknown
+    /// (no extractor exists to classify against).
+    pub request: Option<Request>,
+    /// The typed answer.
+    pub answer: Answer,
+    /// Classification + lookup latency in microseconds (time until the
+    /// system can start speaking).
+    pub latency_micros: u64,
+    /// Estimated speaking time of the answer, in seconds.
+    pub speaking_secs: f64,
+}
+
+impl ServiceResponse {
+    /// The spoken form of the answer.
+    pub fn text(&self) -> &str {
+        self.answer.text()
+    }
+
+    /// Table III row label of the classified request ("Unknown" when the
+    /// tenant did not resolve).
+    pub fn label(&self) -> &'static str {
+        self.request.as_ref().map_or("Unknown", Request::label)
+    }
+}
+
+/// Map a classified request onto a typed answer using one tenant's
+/// resources. Shared by the stateless [`VoiceService::respond`] entry
+/// point and the stateful [`VoiceSession`] (which intercepts `Repeat`
+/// before calling in).
+pub(crate) fn answer_request(
+    request: &Request,
+    text: &str,
+    store: &SpeechStore,
+    help_text: &str,
+    extensions: Option<&ExtremumIndex>,
+) -> Answer {
+    match request {
+        Request::Help => Answer::Help {
+            text: help_text.to_string(),
+        },
+        Request::Repeat => Answer::Help {
+            text: NOTHING_TO_REPEAT.to_string(),
+        },
+        Request::Other => Answer::Help {
+            text: NOT_UNDERSTOOD.to_string(),
+        },
+        Request::Query(query) => match store.lookup(query) {
+            Lookup::Exact(speech) => Answer::Speech {
+                speech,
+                kept_predicates: None,
+            },
+            Lookup::Generalized {
+                speech,
+                kept_predicates,
+            } => Answer::Speech {
+                speech,
+                kept_predicates: Some(kept_predicates),
+            },
+            Lookup::Miss => Answer::NoSummary {
+                query: query.clone(),
+            },
+        },
+        Request::Unsupported(reason) => {
+            let extension_answer = match reason {
+                Unsupported::Extremum => {
+                    extensions.and_then(|index| index.answer_extremum_text(text))
+                }
+                Unsupported::Comparison => {
+                    extensions.and_then(|index| index.answer_comparison_text(text))
+                }
+                Unsupported::UnavailableData => None,
+            };
+            match extension_answer {
+                Some(text) => Answer::Extension { text },
+                None => Answer::Unsupported {
+                    reason: reason.clone(),
+                    text: match reason {
+                        Unsupported::Extremum => EXTREMUM_APOLOGY,
+                        Unsupported::Comparison => COMPARISON_APOLOGY,
+                        Unsupported::UnavailableData => UNAVAILABLE,
+                    }
+                    .to_string(),
+                },
+            }
+        }
+    }
+}
+
+/// Everything needed to register one tenant: the dataset, its
+/// configuration, and the optional speech/extractor customizations that
+/// used to be wired by hand around the free functions.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    name: String,
+    dataset: GeneratedDataset,
+    config: Configuration,
+    help_text: Option<String>,
+    templates: FxHashMap<String, SpeechTemplate>,
+    synonyms: Vec<(String, Vec<String>)>,
+    unavailable_markers: Vec<String>,
+    extremum: Option<(String, String)>,
+}
+
+impl TenantSpec {
+    /// A tenant with default speech templates and an auto-generated help
+    /// text.
+    pub fn new(
+        name: impl Into<String>,
+        dataset: GeneratedDataset,
+        config: Configuration,
+    ) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            dataset,
+            config,
+            help_text: None,
+            templates: FxHashMap::default(),
+            synonyms: Vec::new(),
+            unavailable_markers: Vec::new(),
+            extremum: None,
+        }
+    }
+
+    /// The tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Override the spoken help text.
+    pub fn help_text(mut self, text: impl Into<String>) -> TenantSpec {
+        self.help_text = Some(text.into());
+        self
+    }
+
+    /// Use `template` for speeches of `target` (defaults to
+    /// [`SpeechTemplate::plain`]).
+    pub fn template(mut self, target: &str, template: SpeechTemplate) -> TenantSpec {
+        self.templates.insert(target.to_string(), template);
+        self
+    }
+
+    /// Register spoken synonyms for a target column ("a few samples" of
+    /// phrasings, §III).
+    pub fn target_synonyms(mut self, target: &str, synonyms: &[&str]) -> TenantSpec {
+        self.synonyms.push((
+            target.to_string(),
+            synonyms.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Register phrases marking data the deployment does not cover.
+    pub fn unavailable_markers(mut self, markers: &[&str]) -> TenantSpec {
+        self.unavailable_markers
+            .extend(markers.iter().map(|m| m.to_string()));
+        self
+    }
+
+    /// Pre-compute the extremum/comparison extension index for `target`,
+    /// spoken as `phrase` (answers the §VIII-D "U-Query" shapes).
+    pub fn extremum_index(mut self, target: &str, phrase: &str) -> TenantSpec {
+        self.extremum = Some((target.to_string(), phrase.to_string()));
+        self
+    }
+}
+
+/// Per-request counters of one tenant, updated with relaxed atomics on
+/// the respond path.
+#[derive(Debug, Default)]
+struct RequestCounters {
+    requests: AtomicU64,
+    speeches: AtomicU64,
+    extensions: AtomicU64,
+    helps: AtomicU64,
+    unsupported: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Pre-processing/refresh accounting of one tenant, merged across its
+/// lifetime.
+#[derive(Debug)]
+struct TenantRollup {
+    preprocess: PreprocessReport,
+    refreshes: u64,
+    recomputed: u64,
+    removed: u64,
+    solver: Instrumentation,
+    solver_time: Duration,
+}
+
+/// The extractor-side state rebuilt after every refresh (dictionaries
+/// may gain values).
+#[derive(Debug)]
+pub(crate) struct TenantRuntime {
+    pub(crate) extractor: Extractor,
+    pub(crate) extensions: Option<ExtremumIndex>,
+}
+
+/// One registered deployment.
+struct Tenant {
+    name: String,
+    config: Configuration,
+    help_text: String,
+    templates: FxHashMap<String, SpeechTemplate>,
+    synonyms: Vec<(String, Vec<String>)>,
+    unavailable_markers: Vec<String>,
+    extremum: Option<(String, String)>,
+    store: Arc<SpeechStore>,
+    /// Serializes refreshes per tenant. The raw dataset itself is *not*
+    /// retained — callers hand the current data to
+    /// [`VoiceService::refresh_tenant`], so a tenant's resident cost is
+    /// its store plus dictionaries, not a full table copy.
+    refresh_lock: Mutex<()>,
+    /// Shared with every open [`VoiceSession`], so refreshed extractor
+    /// dictionaries reach live sessions immediately.
+    runtime: Arc<RwLock<TenantRuntime>>,
+    rollup: Mutex<TenantRollup>,
+    counters: RequestCounters,
+}
+
+impl Tenant {
+    /// Build the extractor (and optional extension index) for `dataset`.
+    fn build_runtime(
+        dataset: &GeneratedDataset,
+        config: &Configuration,
+        synonyms: &[(String, Vec<String>)],
+        unavailable_markers: &[String],
+        extremum: &Option<(String, String)>,
+    ) -> Result<TenantRuntime> {
+        let mut extractor = Extractor::for_deployment(dataset, config)?;
+        for (target, phrases) in synonyms {
+            let phrases: Vec<&str> = phrases.iter().map(String::as_str).collect();
+            extractor = extractor.with_target_synonyms(target, &phrases);
+        }
+        if !unavailable_markers.is_empty() {
+            let markers: Vec<&str> = unavailable_markers.iter().map(String::as_str).collect();
+            extractor = extractor.with_unavailable_markers(&markers);
+        }
+        let extensions = match extremum {
+            Some((target, phrase)) => Some(ExtremumIndex::build(
+                &target_relation(dataset, config, target)?,
+                phrase,
+            )),
+            None => None,
+        };
+        Ok(TenantRuntime {
+            extractor,
+            extensions,
+        })
+    }
+}
+
+/// Point-in-time statistics of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Speeches currently stored.
+    pub speeches: usize,
+    /// Queries enumerated by the initial pre-processing.
+    pub queries: usize,
+    /// Requests answered via [`VoiceService::respond`].
+    pub requests: u64,
+    /// Requests answered with a stored speech.
+    pub speech_answers: u64,
+    /// Requests answered by an extension index.
+    pub extension_answers: u64,
+    /// Requests answered with usage guidance.
+    pub help_answers: u64,
+    /// Requests answered with an apology.
+    pub unsupported_answers: u64,
+    /// Supported queries with no stored speech ([`Answer::NoSummary`]).
+    pub miss_answers: u64,
+    /// Completed [`VoiceService::refresh_tenant`] runs.
+    pub refreshes: u64,
+    /// Speeches recomputed across all refreshes.
+    pub recomputed: u64,
+    /// Speeches removed across all refreshes.
+    pub removed: u64,
+    /// Run-time store counters.
+    pub store: StoreStats,
+    /// Solver work counters, merged over pre-processing and refreshes.
+    pub solver: Instrumentation,
+    /// Wall-clock solver time, summed over pre-processing and refreshes.
+    pub solver_time: Duration,
+}
+
+/// Aggregated statistics of the whole service.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Per-tenant roll-ups, sorted by tenant name.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServiceStats {
+    /// Requests answered across all tenants.
+    pub fn total_requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.requests).sum()
+    }
+
+    /// Speeches stored across all tenants.
+    pub fn total_speeches(&self) -> usize {
+        self.tenants.iter().map(|t| t.speeches).sum()
+    }
+
+    /// Store counters summed across all tenants.
+    pub fn store_totals(&self) -> StoreStats {
+        let mut totals = StoreStats::default();
+        for tenant in &self.tenants {
+            totals.merge(&tenant.store);
+        }
+        totals
+    }
+
+    /// Solver work counters summed across all tenants.
+    pub fn solver_totals(&self) -> Instrumentation {
+        let mut totals = Instrumentation::default();
+        for tenant in &self.tenants {
+            totals.merge(&tenant.solver);
+        }
+        totals
+    }
+}
+
+/// Configures and builds a [`VoiceService`].
+pub struct ServiceBuilder {
+    workers: usize,
+    summarizer: Option<Arc<dyn Summarizer + Send + Sync>>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("workers", &self.workers)
+            .field("summarizer", &self.summarizer.as_ref().map(|s| s.name()))
+            .finish()
+    }
+}
+
+impl ServiceBuilder {
+    /// Start from the defaults: all available cores, the optimized
+    /// greedy summarizer.
+    pub fn new() -> ServiceBuilder {
+        ServiceBuilder {
+            workers: 0,
+            summarizer: None,
+        }
+    }
+
+    /// Solver pool threads shared by every tenant (`0` = all cores).
+    pub fn workers(mut self, workers: usize) -> ServiceBuilder {
+        self.workers = workers;
+        self
+    }
+
+    /// Summarization algorithm used for every tenant's pre-processing
+    /// and refreshes (default: [`GreedySummarizer::with_optimized_pruning`]).
+    pub fn summarizer(
+        mut self,
+        summarizer: impl Summarizer + Send + Sync + 'static,
+    ) -> ServiceBuilder {
+        self.summarizer = Some(Arc::new(summarizer));
+        self
+    }
+
+    /// Like [`ServiceBuilder::summarizer`], for an already-boxed
+    /// algorithm (e.g. one picked at run time).
+    pub fn summarizer_box(
+        mut self,
+        summarizer: Box<dyn Summarizer + Send + Sync>,
+    ) -> ServiceBuilder {
+        self.summarizer = Some(Arc::from(summarizer));
+        self
+    }
+
+    /// Spawn the pool and build the (initially tenant-less) service.
+    pub fn build(self) -> VoiceService {
+        VoiceService {
+            pool: SolverPool::new(self.workers),
+            summarizer: self
+                .summarizer
+                .unwrap_or_else(|| Arc::new(GreedySummarizer::with_optimized_pruning())),
+            tenants: RwLock::new(FxHashMap::default()),
+        }
+    }
+}
+
+/// The long-running voice-query service (Fig. 2 as a deployable object):
+/// a registry of tenants behind one shared solver pool. All methods take
+/// `&self`; the service is designed to be shared across request-serving
+/// threads.
+pub struct VoiceService {
+    pool: SolverPool,
+    summarizer: Arc<dyn Summarizer + Send + Sync>,
+    tenants: RwLock<FxHashMap<String, Arc<Tenant>>>,
+}
+
+impl std::fmt::Debug for VoiceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VoiceService")
+            .field("pool", &self.pool)
+            .field("summarizer", &self.summarizer.name())
+            .field("tenants", &self.tenants())
+            .finish()
+    }
+}
+
+impl VoiceService {
+    /// Start configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// Worker threads in the shared solver pool.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    fn tenant(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.read().get(name).cloned()
+    }
+
+    /// Register a dataset as a new tenant: enumerate its queries, solve
+    /// them over the shared pool, and make the tenant answerable. The
+    /// produced store is byte-identical to the legacy free-function
+    /// pre-processing for the same dataset and configuration.
+    ///
+    /// Fails with [`EngineError::DuplicateTenant`] when the name is
+    /// taken, and with the underlying error when the configuration or
+    /// solving fails (in which case no tenant is registered).
+    pub fn register_dataset(&self, spec: TenantSpec) -> Result<PreprocessReport> {
+        spec.config.validate()?;
+        if self.tenant(&spec.name).is_some() {
+            return Err(EngineError::DuplicateTenant { name: spec.name });
+        }
+        let options = PreprocessOptions {
+            workers: self.pool.workers(),
+            templates: spec.templates.clone(),
+        };
+        let (store, report) = preprocess_with(
+            &spec.dataset,
+            &spec.config,
+            self.summarizer.as_ref(),
+            &options,
+            Workers::Pool(&self.pool),
+        )?;
+        let runtime = Tenant::build_runtime(
+            &spec.dataset,
+            &spec.config,
+            &spec.synonyms,
+            &spec.unavailable_markers,
+            &spec.extremum,
+        )?;
+        let help_text = spec.help_text.unwrap_or_else(|| {
+            format!(
+                "Ask about {} by {}.",
+                spec.config.targets.join(" or ").replace('_', " "),
+                spec.config.dimensions.join(" or ").replace('_', " "),
+            )
+        });
+        let tenant = Arc::new(Tenant {
+            name: spec.name.clone(),
+            config: spec.config,
+            help_text,
+            templates: spec.templates,
+            synonyms: spec.synonyms,
+            unavailable_markers: spec.unavailable_markers,
+            extremum: spec.extremum,
+            store: Arc::new(store),
+            refresh_lock: Mutex::new(()),
+            runtime: Arc::new(RwLock::new(runtime)),
+            rollup: Mutex::new(TenantRollup {
+                preprocess: report.clone(),
+                refreshes: 0,
+                recomputed: 0,
+                removed: 0,
+                solver: report.instrumentation,
+                solver_time: report.solver_time,
+            }),
+            counters: RequestCounters::default(),
+        });
+        let mut tenants = self.tenants.write();
+        if tenants.contains_key(&spec.name) {
+            return Err(EngineError::DuplicateTenant { name: spec.name });
+        }
+        tenants.insert(spec.name, tenant);
+        Ok(report)
+    }
+
+    /// Bring a tenant up to date with `dataset` after the rows in
+    /// `changed_rows` were mutated: recomputes only the affected
+    /// speeches (untouched entries stay pointer-stable), replaces the
+    /// tenant's dataset, and rebuilds its extractor dictionaries.
+    /// Refreshes of the same tenant are serialized; lookups keep being
+    /// served throughout.
+    pub fn refresh_tenant(
+        &self,
+        name: &str,
+        dataset: &GeneratedDataset,
+        changed_rows: &[usize],
+    ) -> Result<RefreshReport> {
+        let tenant = self
+            .tenant(name)
+            .ok_or_else(|| EngineError::UnknownTenant {
+                name: name.to_string(),
+            })?;
+        // Holding the refresh lock for the whole run serializes
+        // refreshes per tenant without blocking the respond path.
+        let _refresh = tenant.refresh_lock.lock();
+        // Build the new runtime *before* touching the store: it is the
+        // only other fallible step, so ordering it first keeps a failed
+        // refresh fail-atomic (store, dataset, extractor, and counters
+        // all stay on the old data together).
+        let runtime = Tenant::build_runtime(
+            dataset,
+            &tenant.config,
+            &tenant.synonyms,
+            &tenant.unavailable_markers,
+            &tenant.extremum,
+        )?;
+        let options = PreprocessOptions {
+            workers: self.pool.workers(),
+            templates: tenant.templates.clone(),
+        };
+        let report = refresh_with(
+            dataset,
+            &tenant.config,
+            self.summarizer.as_ref(),
+            &options,
+            &tenant.store,
+            changed_rows,
+            Workers::Pool(&self.pool),
+        )?;
+        *tenant.runtime.write() = runtime;
+        let mut rollup = tenant.rollup.lock();
+        rollup.refreshes += 1;
+        rollup.recomputed += report.recomputed as u64;
+        rollup.removed += report.removed as u64;
+        rollup.solver.merge(&report.instrumentation);
+        rollup.solver_time += report.solver_time;
+        Ok(report)
+    }
+
+    /// Remove a tenant (its store dies with the last outstanding
+    /// reference). Returns whether the tenant existed.
+    pub fn evict_tenant(&self, name: &str) -> bool {
+        self.tenants.write().remove(name).is_some()
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Shared handle to a tenant's speech store (diagnostics and the
+    /// byte-identity assertions in the integration suite).
+    pub fn tenant_store(&self, name: &str) -> Option<Arc<SpeechStore>> {
+        self.tenant(name).map(|tenant| Arc::clone(&tenant.store))
+    }
+
+    /// A clone of a tenant's current extractor (deployment-log replay
+    /// and diagnostics).
+    pub fn extractor(&self, name: &str) -> Option<Extractor> {
+        self.tenant(name)
+            .map(|tenant| tenant.runtime.read().extractor.clone())
+    }
+
+    /// Open a stateful conversation ([`VoiceSession`]) over one tenant:
+    /// the session adds repeat handling on top of the same typed answer
+    /// pipeline. It shares the tenant's *live* runtime, so extractor
+    /// dictionaries refreshed via [`VoiceService::refresh_tenant`] take
+    /// effect mid-conversation, and it holds its own store handle, so it
+    /// keeps answering even after the tenant is evicted.
+    pub fn session(&self, name: &str) -> Option<VoiceSession> {
+        let tenant = self.tenant(name)?;
+        let extractor = tenant.runtime.read().extractor.clone();
+        Some(
+            VoiceSession::new(
+                Arc::clone(&tenant.store),
+                extractor,
+                tenant.help_text.clone(),
+            )
+            .with_tenant_label(&tenant.name)
+            .with_shared_runtime(Arc::clone(&tenant.runtime)),
+        )
+    }
+
+    /// Answer one stateless request: classify the text with the tenant's
+    /// extractor, look up the best pre-generated speech (or extension
+    /// answer), and account the latency. Per-user conversation state
+    /// (repeat handling) lives in [`VoiceService::session`].
+    pub fn respond(&self, request: &ServiceRequest) -> ServiceResponse {
+        let start = Instant::now();
+        let Some(tenant) = self.tenant(&request.tenant) else {
+            let answer = Answer::UnknownTenant {
+                tenant: request.tenant.clone(),
+            };
+            return ServiceResponse {
+                tenant: request.tenant.clone(),
+                request: None,
+                speaking_secs: speaking_time_secs(answer.text()),
+                latency_micros: start.elapsed().as_micros() as u64,
+                answer,
+            };
+        };
+        let runtime = tenant.runtime.read();
+        let classified = runtime.extractor.classify(&request.text);
+        let answer = answer_request(
+            &classified,
+            &request.text,
+            &tenant.store,
+            &tenant.help_text,
+            runtime.extensions.as_ref(),
+        );
+        drop(runtime);
+        tenant.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let kind_counter = match &answer {
+            Answer::Speech { .. } => &tenant.counters.speeches,
+            Answer::Extension { .. } => &tenant.counters.extensions,
+            Answer::Help { .. } => &tenant.counters.helps,
+            Answer::Unsupported { .. } => &tenant.counters.unsupported,
+            Answer::NoSummary { .. } => &tenant.counters.misses,
+            Answer::UnknownTenant { .. } => unreachable!("tenant resolved above"),
+        };
+        kind_counter.fetch_add(1, Ordering::Relaxed);
+        ServiceResponse {
+            tenant: tenant.name.clone(),
+            request: Some(classified),
+            speaking_secs: speaking_time_secs(answer.text()),
+            latency_micros: start.elapsed().as_micros() as u64,
+            answer,
+        }
+    }
+
+    /// Replay a generated deployment log through one tenant's classifier
+    /// and tabulate it into Table III counts (label order: Help, Repeat,
+    /// S-Query, U-Query, Other).
+    pub fn replay(&self, name: &str, log: &[LogEntry]) -> Option<[usize; 5]> {
+        let extractor = self.extractor(name)?;
+        Some(tabulate(&extractor, log))
+    }
+
+    /// Point-in-time statistics of every tenant, sorted by name.
+    pub fn stats(&self) -> ServiceStats {
+        let tenants: Vec<Arc<Tenant>> = self.tenants.read().values().cloned().collect();
+        let mut stats: Vec<TenantStats> = tenants
+            .into_iter()
+            .map(|tenant| {
+                let rollup = tenant.rollup.lock();
+                TenantStats {
+                    tenant: tenant.name.clone(),
+                    speeches: tenant.store.len(),
+                    queries: rollup.preprocess.queries,
+                    requests: tenant.counters.requests.load(Ordering::Relaxed),
+                    speech_answers: tenant.counters.speeches.load(Ordering::Relaxed),
+                    extension_answers: tenant.counters.extensions.load(Ordering::Relaxed),
+                    help_answers: tenant.counters.helps.load(Ordering::Relaxed),
+                    unsupported_answers: tenant.counters.unsupported.load(Ordering::Relaxed),
+                    miss_answers: tenant.counters.misses.load(Ordering::Relaxed),
+                    refreshes: rollup.refreshes,
+                    recomputed: rollup.recomputed,
+                    removed: rollup.removed,
+                    store: tenant.store.stats(),
+                    solver: rollup.solver,
+                    solver_time: rollup.solver_time,
+                }
+            })
+            .collect();
+        stats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        ServiceStats { tenants: stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+
+    fn dataset(seed: u64) -> GeneratedDataset {
+        SynthSpec {
+            name: "svc".to_string(),
+            dims: vec![
+                DimSpec::named("season", &["Winter", "Summer"]),
+                DimSpec::named("region", &["East", "West"]),
+            ],
+            targets: vec![TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0))],
+            rows: 160,
+        }
+        .generate(seed, 1.0)
+    }
+
+    fn config() -> Configuration {
+        Configuration::new("svc", &["season", "region"], &["delay"])
+    }
+
+    fn service() -> VoiceService {
+        ServiceBuilder::new().workers(2).build()
+    }
+
+    #[test]
+    fn register_respond_and_evict() {
+        let service = service();
+        let report = service
+            .register_dataset(TenantSpec::new("svc", dataset(7), config()))
+            .unwrap();
+        assert_eq!(report.queries, report.speeches);
+        assert!(report.total_solver_time() > Duration::ZERO);
+        assert_eq!(service.tenants(), vec!["svc".to_string()]);
+
+        let response = service.respond(&ServiceRequest::new("svc", "delay in Winter?"));
+        assert_eq!(response.label(), "S-Query");
+        match &response.answer {
+            Answer::Speech {
+                speech,
+                kept_predicates,
+            } => {
+                assert_eq!(kept_predicates, &None);
+                assert!(speech.text.contains("season Winter"), "{}", speech.text);
+            }
+            other => panic!("expected speech, got {other:?}"),
+        }
+        assert!(response.speaking_secs > 0.0);
+
+        assert!(service.evict_tenant("svc"));
+        assert!(!service.evict_tenant("svc"));
+        assert!(service.tenants().is_empty());
+        let gone = service.respond(&ServiceRequest::new("svc", "delay in Winter?"));
+        assert!(matches!(gone.answer, Answer::UnknownTenant { .. }));
+        assert_eq!(gone.text(), UNKNOWN_TENANT);
+        assert_eq!(gone.label(), "Unknown");
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let service = service();
+        service
+            .register_dataset(TenantSpec::new("svc", dataset(7), config()))
+            .unwrap();
+        let err = service
+            .register_dataset(TenantSpec::new("svc", dataset(8), config()))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateTenant { name } if name == "svc"));
+    }
+
+    #[test]
+    fn refresh_of_unknown_tenant_errors() {
+        let service = service();
+        let err = service
+            .refresh_tenant("nope", &dataset(7), &[])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTenant { name } if name == "nope"));
+    }
+
+    #[test]
+    fn help_chatter_and_miss_map_to_typed_answers() {
+        let service = service();
+        service
+            .register_dataset(
+                TenantSpec::new("svc", dataset(7), config()).help_text("Try 'delay in Winter'."),
+            )
+            .unwrap();
+        let help = service.respond(&ServiceRequest::new("svc", "help me"));
+        assert_eq!(
+            help.answer,
+            Answer::Help {
+                text: "Try 'delay in Winter'.".to_string()
+            }
+        );
+        let chatter = service.respond(&ServiceRequest::new("svc", "sing me a song"));
+        assert_eq!(chatter.text(), NOT_UNDERSTOOD);
+        let repeat = service.respond(&ServiceRequest::new("svc", "repeat that"));
+        assert_eq!(repeat.text(), NOTHING_TO_REPEAT);
+        let unsupported = service.respond(&ServiceRequest::new(
+            "svc",
+            "which season has the most delay",
+        ));
+        assert!(matches!(
+            unsupported.answer,
+            Answer::Unsupported {
+                reason: Unsupported::Extremum,
+                ..
+            }
+        ));
+
+        let stats = service.stats();
+        assert_eq!(stats.tenants.len(), 1);
+        let tenant = &stats.tenants[0];
+        assert_eq!(tenant.requests, 4);
+        assert_eq!(tenant.help_answers, 3);
+        assert_eq!(tenant.unsupported_answers, 1);
+        assert_eq!(tenant.speech_answers, 0);
+    }
+
+    #[test]
+    fn extremum_extension_answers_through_the_facade() {
+        let service = service();
+        service
+            .register_dataset(
+                TenantSpec::new("svc", dataset(7), config())
+                    .target_synonyms("delay", &["delays"])
+                    .extremum_index("delay", "delay"),
+            )
+            .unwrap();
+        let response = service.respond(&ServiceRequest::new(
+            "svc",
+            "which season has the most delays",
+        ));
+        match &response.answer {
+            Answer::Extension { text } => assert!(text.contains("highest"), "{text}"),
+            other => panic!("expected extension answer, got {other:?}"),
+        }
+        assert_eq!(service.stats().tenants[0].extension_answers, 1);
+    }
+
+    #[test]
+    fn generalization_fallback_reports_kept_predicates() {
+        use crate::problem::Query;
+        // A store covering only the overall and the Winter slice: a
+        // (Winter, North) query must fall back to Winter with one
+        // predicate kept, and the typed answer must say so.
+        let store = SpeechStore::new();
+        for predicates in [vec![], vec![("season", "Winter")]] {
+            let query = Query::of("delay", &predicates);
+            store.insert(StoredSpeech {
+                text: format!("speech for {query}"),
+                facts: vec![],
+                utility: 1.0,
+                base_error: 2.0,
+                rows: 10,
+                query,
+            });
+        }
+        let request = Request::Query(Query::of(
+            "delay",
+            &[("season", "Winter"), ("region", "North")],
+        ));
+        let answer = answer_request(&request, "", &store, "help", None);
+        match answer {
+            Answer::Speech {
+                speech,
+                kept_predicates,
+            } => {
+                assert_eq!(kept_predicates, Some(1));
+                assert_eq!(speech.query, Query::of("delay", &[("season", "Winter")]));
+            }
+            other => panic!("expected generalized speech, got {other:?}"),
+        }
+        // An unknown target is a typed miss carrying the query, distinct
+        // from the out-of-deployment apology.
+        let miss = Request::Query(Query::of("satisfaction", &[]));
+        let answer = answer_request(&miss, "", &store, "help", None);
+        assert_eq!(
+            answer,
+            Answer::NoSummary {
+                query: Query::of("satisfaction", &[]),
+            }
+        );
+        assert_eq!(answer.text(), NO_SUMMARY);
+    }
+
+    #[test]
+    fn stats_aggregate_across_tenants() {
+        let service = service();
+        for name in ["a", "b"] {
+            service
+                .register_dataset(TenantSpec::new(name, dataset(7), config()))
+                .unwrap();
+        }
+        service.respond(&ServiceRequest::new("a", "delay in Winter?"));
+        service.respond(&ServiceRequest::new("a", "delay in Summer?"));
+        service.respond(&ServiceRequest::new("b", "delay in Winter?"));
+        let stats = service.stats();
+        assert_eq!(stats.total_requests(), 3);
+        assert_eq!(stats.tenants[0].tenant, "a");
+        assert_eq!(stats.tenants[0].requests, 2);
+        assert_eq!(stats.tenants[1].requests, 1);
+        assert_eq!(stats.total_speeches(), 18);
+        assert_eq!(stats.store_totals().lookups, 3);
+        assert!(stats.solver_totals().gain_passes > 0);
+    }
+
+    #[test]
+    fn session_carries_repeat_state() {
+        let service = service();
+        service
+            .register_dataset(TenantSpec::new("svc", dataset(7), config()))
+            .unwrap();
+        let mut session = service.session("svc").unwrap();
+        assert!(session.answer("say that again").text().contains("not said"));
+        let first = session.answer("delay in Winter?").text().to_string();
+        assert_eq!(session.answer("repeat that").text(), first);
+        assert!(service.session("missing").is_none());
+    }
+
+    #[test]
+    fn open_sessions_follow_refreshed_dictionaries() {
+        use crate::problem::Query;
+        use vqs_relalg::prelude::{Table, Value};
+        // Before-data where every row is Winter: "Summer" is not in the
+        // extractor dictionary at registration time.
+        let full = dataset(7);
+        let schema = full.table.schema().clone();
+        let season_col = schema.index_of("season").unwrap();
+        let rows: Vec<Vec<Value>> = full
+            .table
+            .iter_rows()
+            .map(|mut row| {
+                row[season_col] = Value::Str("Winter".into());
+                row
+            })
+            .collect();
+        let winter_only = GeneratedDataset {
+            name: full.name.clone(),
+            table: Table::from_rows(schema, rows).unwrap(),
+            dims: full.dims.clone(),
+            targets: full.targets.clone(),
+        };
+        let service = service();
+        service
+            .register_dataset(TenantSpec::new("svc", winter_only, config()))
+            .unwrap();
+        let mut session = service.session("svc").unwrap();
+        match &session.answer("delay in Summer").answer {
+            Answer::Speech { speech, .. } => {
+                assert!(speech.query.is_empty(), "unknown value → overall speech")
+            }
+            other => panic!("expected overall speech, got {other:?}"),
+        }
+        // After a refresh onto data containing Summer, the *same open
+        // session* classifies the new value (live shared runtime).
+        let changed: Vec<usize> = (0..full.table.len()).collect();
+        service.refresh_tenant("svc", &full, &changed).unwrap();
+        match &session.answer("delay in Summer").answer {
+            Answer::Speech { speech, .. } => {
+                assert_eq!(speech.query, Query::of("delay", &[("season", "Summer")]))
+            }
+            other => panic!("expected the Summer speech, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_defaults_are_sensible() {
+        let service = ServiceBuilder::default().workers(1).build();
+        assert_eq!(service.pool_workers(), 1);
+        assert!(service.tenants().is_empty());
+        assert!(format!("{service:?}").contains("VoiceService"));
+        let stats = service.stats();
+        assert_eq!(stats.total_requests(), 0);
+        assert_eq!(stats.total_speeches(), 0);
+    }
+}

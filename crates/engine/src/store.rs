@@ -74,6 +74,18 @@ pub struct StoreStats {
     pub misses: u64,
 }
 
+impl StoreStats {
+    /// Accumulate another snapshot (cross-tenant aggregation in
+    /// [`crate::service::ServiceStats`]).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.lookups += other.lookups;
+        self.probes += other.probes;
+        self.exact_hits += other.exact_hits;
+        self.generalized_hits += other.generalized_hits;
+        self.misses += other.misses;
+    }
+}
+
 /// Run-time counters, updated with relaxed atomics on the lookup path.
 /// One cache-line-aligned stripe per shard: every lookup writes only the
 /// stripe of the shard its query hashes to, so counter updates never

@@ -1,17 +1,30 @@
-//! The voice-query runtime: request in, speech out (Fig. 2 right side).
+//! The stateful voice-session runtime (Fig. 2 right side).
 //!
 //! At run time the system "merely looks up the best pre-generated speech"
-//! (§VIII-E); the session layer adds help/repeat handling and latency
-//! accounting for the Fig. 10 comparison.
+//! (§VIII-E); the session layer adds per-user conversation state (repeat
+//! handling) and latency accounting on top of the same typed answer
+//! pipeline the [`crate::service::VoiceService`] facade uses for
+//! stateless traffic. Sessions own an [`Arc`] handle to the speech
+//! store, so they can be stored next to (and outlive) the service or
+//! store that spawned them.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::RwLock;
+
 use crate::extensions::ExtremumIndex;
-use crate::nlq::{Extractor, Request, Unsupported};
-use crate::store::{Lookup, SpeechStore};
+use crate::nlq::{Extractor, Request};
+use crate::service::{answer_request, Answer, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT};
+use crate::store::SpeechStore;
 use crate::template::speaking_time_secs;
 
-/// What the system answered and how fast.
+/// What the system answered and how fast — the legacy stringly response.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `VoiceSession::answer` / `VoiceService::respond`, which return the typed \
+            `ServiceResponse`"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct VoiceResponse {
     /// The classified request.
@@ -27,77 +40,112 @@ pub struct VoiceResponse {
 
 /// A stateful voice session over one deployment.
 #[derive(Debug)]
-pub struct VoiceSession<'a> {
-    store: &'a SpeechStore,
+pub struct VoiceSession {
+    tenant: String,
+    store: Arc<SpeechStore>,
     extractor: Extractor,
     help_text: String,
-    last_output: Option<String>,
+    last: Option<Answer>,
     extensions: Option<ExtremumIndex>,
+    /// When opened via [`crate::service::VoiceService::session`], the
+    /// tenant's live extractor/extension state: refreshes reach open
+    /// sessions instead of leaving them on snapshotted dictionaries.
+    shared: Option<Arc<RwLock<TenantRuntime>>>,
 }
 
-impl<'a> VoiceSession<'a> {
-    /// Open a session over a store and extractor.
-    pub fn new(store: &'a SpeechStore, extractor: Extractor, help_text: impl Into<String>) -> Self {
+impl VoiceSession {
+    /// Open a session over a store and extractor. Prefer
+    /// [`crate::service::VoiceService::session`], which wires all of this
+    /// from the tenant registration.
+    pub fn new(
+        store: Arc<SpeechStore>,
+        extractor: Extractor,
+        help_text: impl Into<String>,
+    ) -> Self {
         VoiceSession {
+            tenant: String::new(),
             store,
             extractor,
             help_text: help_text.into(),
-            last_output: None,
+            last: None,
             extensions: None,
+            shared: None,
         }
     }
 
+    /// Follow a tenant's live runtime instead of the construction-time
+    /// extractor/extension snapshot (wired by
+    /// [`crate::service::VoiceService::session`]).
+    pub(crate) fn with_shared_runtime(mut self, runtime: Arc<RwLock<TenantRuntime>>) -> Self {
+        self.shared = Some(runtime);
+        self
+    }
+
     /// Enable the extremum/comparison extension (answers the §VIII-D
-    /// "U-Query" shapes from a pre-computed index instead of apologizing).
+    /// "U-Query" shapes from a pre-computed index instead of
+    /// apologizing). On a session opened via
+    /// [`crate::service::VoiceService::session`] this *overrides* the
+    /// tenant's registered index for this session only.
     pub fn with_extensions(mut self, index: ExtremumIndex) -> Self {
         self.extensions = Some(index);
         self
     }
 
-    /// Handle one voice request.
-    pub fn respond(&mut self, text: &str) -> VoiceResponse {
+    /// Label responses with the tenant this session serves (set by
+    /// [`crate::service::VoiceService::session`]).
+    pub fn with_tenant_label(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Handle one voice request through the typed answer pipeline.
+    /// `Repeat` replays the previous *answer* (not just its text), so
+    /// callers can still branch on the replayed structure.
+    pub fn answer(&mut self, text: &str) -> ServiceResponse {
         let start = Instant::now();
-        let request = self.extractor.classify(text);
-        let answer = match &request {
-            Request::Help => self.help_text.clone(),
-            Request::Repeat => self
-                .last_output
-                .clone()
-                .unwrap_or_else(|| "I have not said anything yet.".to_string()),
-            Request::Query(query) => match self.store.lookup(query) {
-                Lookup::Exact(speech) => speech.text.clone(),
-                Lookup::Generalized { speech, .. } => speech.text.clone(),
-                Lookup::Miss => "I have no summary for that topic yet.".to_string(),
-            },
-            Request::Unsupported(reason) => match reason {
-                Unsupported::Extremum => self
-                    .extensions
-                    .as_ref()
-                    .and_then(|index| index.answer_extremum_text(text))
-                    .unwrap_or_else(|| {
-                        "I can only summarize averages, not find extremes.".to_string()
-                    }),
-                Unsupported::Comparison => self
-                    .extensions
-                    .as_ref()
-                    .and_then(|index| index.answer_comparison_text(text))
-                    .unwrap_or_else(|| {
-                        "I cannot compare data subsets directly; ask about one subset at a time."
-                            .to_string()
-                    }),
-                Unsupported::UnavailableData => {
-                    "That data is not part of this deployment.".to_string()
-                }
-            },
-            Request::Other => "Sorry, I did not understand. Say 'help' for examples.".to_string(),
+        let shared = self.shared.as_ref().map(|runtime| runtime.read());
+        let (extractor, extensions) = match &shared {
+            // A session-local index set via `with_extensions` overrides
+            // the tenant's; the extractor always follows the live
+            // runtime so refreshed dictionaries apply mid-conversation.
+            Some(runtime) => (
+                &runtime.extractor,
+                self.extensions.as_ref().or(runtime.extensions.as_ref()),
+            ),
+            None => (&self.extractor, self.extensions.as_ref()),
         };
-        let latency_micros = start.elapsed().as_micros() as u64;
-        self.last_output = Some(answer.clone());
+        let request = extractor.classify(text);
+        let answer = match &request {
+            Request::Repeat => self.last.clone().unwrap_or(Answer::Help {
+                text: NOTHING_TO_REPEAT.to_string(),
+            }),
+            _ => {
+                let answer =
+                    answer_request(&request, text, &self.store, &self.help_text, extensions);
+                self.last = Some(answer.clone());
+                answer
+            }
+        };
+        drop(shared);
+        ServiceResponse {
+            tenant: self.tenant.clone(),
+            request: Some(request),
+            speaking_secs: speaking_time_secs(answer.text()),
+            latency_micros: start.elapsed().as_micros() as u64,
+            answer,
+        }
+    }
+
+    /// Handle one voice request, flattened to the legacy text response.
+    #[deprecated(since = "0.2.0", note = "use `VoiceSession::answer`")]
+    #[allow(deprecated)]
+    pub fn respond(&mut self, text: &str) -> VoiceResponse {
+        let response = self.answer(text);
         VoiceResponse {
-            request,
-            speaking_secs: speaking_time_secs(&answer),
-            text: answer,
-            latency_micros,
+            request: response.request.expect("sessions always classify"),
+            text: response.answer.text().to_string(),
+            latency_micros: response.latency_micros,
+            speaking_secs: response.speaking_secs,
         }
     }
 }
@@ -118,7 +166,7 @@ mod tests {
         .unwrap()
     }
 
-    fn store() -> SpeechStore {
+    fn store() -> Arc<SpeechStore> {
         let store = SpeechStore::new();
         store.insert(StoredSpeech {
             query: Query::of("cancelled", &[("season", "Winter")]),
@@ -136,17 +184,86 @@ mod tests {
             base_error: 2.0,
             rows: 2,
         });
-        store
+        Arc::new(store)
     }
 
-    fn session(store: &SpeechStore) -> VoiceSession<'_> {
+    fn session(store: &Arc<SpeechStore>) -> VoiceSession {
         let extractor = Extractor::from_relation(&relation(), 2)
             .with_target_synonyms("cancelled", &["cancellations"]);
-        VoiceSession::new(store, extractor, "Ask about cancellations by season.")
+        VoiceSession::new(
+            Arc::clone(store),
+            extractor,
+            "Ask about cancellations by season.",
+        )
     }
 
     #[test]
     fn answers_supported_query() {
+        let store = store();
+        let mut session = session(&store);
+        let response = session.answer("cancellations in winter?");
+        assert!(response.text().contains("Winter"));
+        assert!(matches!(response.request, Some(Request::Query(_))));
+        assert!(matches!(
+            response.answer,
+            Answer::Speech {
+                kept_predicates: None,
+                ..
+            }
+        ));
+        assert!(response.speaking_secs > 0.0);
+    }
+
+    #[test]
+    fn repeat_replays_last_answer() {
+        let store = store();
+        let mut session = session(&store);
+        assert!(session
+            .answer("say that again")
+            .text()
+            .contains("not said anything"));
+        let first = session.answer("cancellations in winter");
+        let repeated = session.answer("repeat that");
+        assert_eq!(first.text(), repeated.text());
+        // The replay carries the typed answer, not just the text.
+        assert!(repeated.answer.is_speech());
+        assert!(matches!(repeated.request, Some(Request::Repeat)));
+    }
+
+    #[test]
+    fn help_and_fallbacks() {
+        let store = store();
+        let mut session = session(&store);
+        assert!(session.answer("help").text().contains("Ask about"));
+        // Unknown season value for this deployment: falls back to the
+        // overall speech via the store's generalization lookup.
+        let response = session.answer("cancellations in summer");
+        assert!(response.text().contains("overall"));
+        assert!(matches!(
+            response.answer,
+            Answer::Speech {
+                kept_predicates: Some(0),
+                ..
+            }
+        ));
+        let response = session.answer("what is the weather");
+        assert!(matches!(response.request, Some(Request::Other)));
+        assert!(matches!(response.answer, Answer::Help { .. }));
+    }
+
+    #[test]
+    fn unsupported_requests_are_explained() {
+        let store = store();
+        let mut session = session(&store);
+        let response = session.answer("compare cancellations in winter versus summer");
+        assert!(matches!(response.request, Some(Request::Unsupported(_))));
+        assert!(response.text().contains("compare"));
+        assert!(matches!(response.answer, Answer::Unsupported { .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_respond_shim_still_flattens_to_text() {
         let store = store();
         let mut session = session(&store);
         let response = session.respond("cancellations in winter?");
@@ -156,38 +273,18 @@ mod tests {
     }
 
     #[test]
-    fn repeat_replays_last_output() {
-        let store = store();
-        let mut session = session(&store);
+    fn sessions_outlive_their_creator_scope() {
+        // The Arc handle (not a borrow) makes sessions storable: build
+        // the session in an inner scope and use it after the original
+        // store binding is gone.
+        let mut session = {
+            let store = store();
+            session(&store)
+        };
         assert!(session
-            .respond("say that again")
-            .text
-            .contains("not said anything"));
-        let first = session.respond("cancellations in winter").text;
-        let repeated = session.respond("repeat that").text;
-        assert_eq!(first, repeated);
-    }
-
-    #[test]
-    fn help_and_fallbacks() {
-        let store = store();
-        let mut session = session(&store);
-        assert!(session.respond("help").text.contains("Ask about"));
-        // Unknown season value for this deployment: falls back to the
-        // overall speech via the store's generalization lookup.
-        let response = session.respond("cancellations in summer");
-        assert!(response.text.contains("overall"));
-        let response = session.respond("what is the weather");
-        assert!(matches!(response.request, Request::Other));
-    }
-
-    #[test]
-    fn unsupported_requests_are_explained() {
-        let store = store();
-        let mut session = session(&store);
-        let response = session.respond("compare cancellations in winter versus summer");
-        assert!(matches!(response.request, Request::Unsupported(_)));
-        assert!(response.text.contains("compare"));
+            .answer("cancellations in winter")
+            .text()
+            .contains("Winter"));
     }
 }
 
@@ -212,7 +309,7 @@ mod extension_tests {
         .unwrap()
     }
 
-    fn store() -> SpeechStore {
+    fn store() -> Arc<SpeechStore> {
         let store = SpeechStore::new();
         store.insert(StoredSpeech {
             query: Query::of("cancelled", &[]),
@@ -222,7 +319,7 @@ mod extension_tests {
             base_error: 2.0,
             rows: 3,
         });
-        store
+        Arc::new(store)
     }
 
     #[test]
@@ -232,16 +329,13 @@ mod extension_tests {
         let extractor = Extractor::from_relation(&relation, 2)
             .with_target_synonyms("cancelled", &["cancellations"]);
         let index = ExtremumIndex::build(&relation, "cancellation probability");
-        let mut session = VoiceSession::new(&store, extractor, "help").with_extensions(index);
-        let response = session.respond("which airline has the most cancellations");
-        assert!(matches!(
-            response.request,
-            Request::Unsupported(Unsupported::Extremum)
-        ));
+        let mut session = VoiceSession::new(store, extractor, "help").with_extensions(index);
+        let response = session.answer("which airline has the most cancellations");
+        assert!(matches!(response.answer, Answer::Extension { .. }));
         assert!(
-            response.text.contains("Delta has the highest"),
+            response.text().contains("Delta has the highest"),
             "{}",
-            response.text
+            response.text()
         );
     }
 
@@ -252,14 +346,11 @@ mod extension_tests {
         let extractor = Extractor::from_relation(&relation, 2)
             .with_target_synonyms("cancelled", &["cancellations"]);
         let index = ExtremumIndex::build(&relation, "cancellation probability");
-        let mut session = VoiceSession::new(&store, extractor, "help").with_extensions(index);
+        let mut session = VoiceSession::new(store, extractor, "help").with_extensions(index);
         let response =
-            session.respond("make a comparison between cancellations for Delta and Alaska");
-        assert!(matches!(
-            response.request,
-            Request::Unsupported(Unsupported::Comparison)
-        ));
-        assert!(response.text.contains("times"), "{}", response.text);
+            session.answer("make a comparison between cancellations for Delta and Alaska");
+        assert!(matches!(response.answer, Answer::Extension { .. }));
+        assert!(response.text().contains("times"), "{}", response.text());
     }
 
     #[test]
@@ -268,8 +359,9 @@ mod extension_tests {
         let store = store();
         let extractor = Extractor::from_relation(&relation, 2)
             .with_target_synonyms("cancelled", &["cancellations"]);
-        let mut session = VoiceSession::new(&store, extractor, "help");
-        let response = session.respond("which airline has the most cancellations");
-        assert!(response.text.contains("not find extremes"));
+        let mut session = VoiceSession::new(store, extractor, "help");
+        let response = session.answer("which airline has the most cancellations");
+        assert!(matches!(response.answer, Answer::Unsupported { .. }));
+        assert!(response.text().contains("not find extremes"));
     }
 }

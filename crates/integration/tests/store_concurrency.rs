@@ -234,7 +234,9 @@ fn determinism_dataset() -> vqs_data::GeneratedDataset {
 
 /// `preprocess` with 1, 2, and 8 workers yields byte-identical stores and
 /// identical instrumentation totals — the work-stealing queue must not
-/// introduce chunking- or scheduling-dependent results.
+/// introduce chunking- or scheduling-dependent results. Registration
+/// runs on the service's shared solver pool, so this also pins the
+/// pool-executor path.
 #[test]
 fn preprocess_is_deterministic_in_worker_count() {
     let data = determinism_dataset();
@@ -243,15 +245,17 @@ fn preprocess_is_deterministic_in_worker_count() {
         &["season", "region", "airline"],
         &["delay", "cancelled"],
     );
-    let summarizer = GreedySummarizer::with_optimized_pruning();
     let runs: Vec<_> = [1usize, 2, 8]
         .iter()
         .map(|&workers| {
-            let options = PreprocessOptions {
-                workers,
-                ..Default::default()
-            };
-            preprocess(&data, &config, &summarizer, &options).unwrap()
+            let service = ServiceBuilder::new()
+                .workers(workers)
+                .summarizer(GreedySummarizer::with_optimized_pruning())
+                .build();
+            let report = service
+                .register_dataset(TenantSpec::new("determinism", data.clone(), config.clone()))
+                .unwrap();
+            (service.tenant_store("determinism").unwrap(), report)
         })
         .collect();
     let (reference_store, reference_report) = &runs[0];

@@ -4,7 +4,6 @@
 //! instrumented check that the fallback probes only indexed candidates.
 
 use proptest::prelude::*;
-use vqs_core::prelude::GreedySummarizer;
 use vqs_data::{DimSpec, SynthSpec, TargetSpec};
 use vqs_engine::prelude::*;
 
@@ -210,13 +209,11 @@ fn real_store_fallback_probe_count_is_indexed() {
     // Only 0- and 1-predicate queries are pre-generated: singleton
     // dimension sets plus the overall speech.
     config.max_query_length = 1;
-    let (store, _) = preprocess(
-        &data,
-        &config,
-        &GreedySummarizer::with_optimized_pruning(),
-        &PreprocessOptions::default(),
-    )
-    .unwrap();
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(TenantSpec::new("probes", data, config))
+        .unwrap();
+    let store = service.tenant_store("probes").unwrap();
     assert_eq!(store.len(), 7); // overall + 3 dims × 2 values
 
     store.reset_stats();

@@ -1,11 +1,11 @@
-//! Delta re-summarization (`refresh`): mutate a dataset slice, refresh,
+//! Delta re-summarization through the service facade
+//! ([`VoiceService::refresh_tenant`]): mutate a dataset slice, refresh,
 //! and verify that only affected queries' speeches change, untouched
 //! entries stay pointer-stable, and the refreshed store is always
 //! element-wise identical to a full re-preprocess of the mutated data.
 
 use std::sync::Arc;
 
-use vqs_core::prelude::GreedySummarizer;
 use vqs_data::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};
 use vqs_engine::prelude::*;
 use vqs_relalg::prelude::{Table, Value};
@@ -76,15 +76,20 @@ fn rows_in_combo(dataset: &GeneratedDataset, season: &str, region: &str) -> Vec<
         .collect()
 }
 
-fn preprocess_full(data: &GeneratedDataset) -> SpeechStore {
-    preprocess(
-        data,
-        &config(),
-        &GreedySummarizer::with_optimized_pruning(),
-        &PreprocessOptions::default(),
-    )
-    .unwrap()
-    .0
+/// A single-tenant service over `data` (the facade default summarizer is
+/// the optimized greedy, matching the legacy suite).
+fn service_over(data: &GeneratedDataset) -> VoiceService {
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(TenantSpec::new("refresh", data.clone(), config()))
+        .unwrap();
+    service
+}
+
+/// The store a fresh registration of `data` produces (the refresh ground
+/// truth).
+fn preprocess_full(data: &GeneratedDataset) -> Arc<SpeechStore> {
+    service_over(data).tenant_store("refresh").unwrap()
 }
 
 /// Moving every (Winter, East) row to region West: the vanished value
@@ -103,18 +108,12 @@ fn dimension_mutation_refreshes_only_affected_queries() {
         }
     });
 
-    let store = preprocess_full(&before_data);
+    let service = service_over(&before_data);
+    let store = service.tenant_store("refresh").unwrap();
     let before: Vec<Arc<StoredSpeech>> = store.snapshot();
-    let options = PreprocessOptions::default();
-    let report = refresh(
-        &after_data,
-        &config(),
-        &GreedySummarizer::with_optimized_pruning(),
-        &options,
-        &store,
-        &changed_rows,
-    )
-    .unwrap();
+    let report = service
+        .refresh_tenant("refresh", &after_data, &changed_rows)
+        .unwrap();
 
     // The (Winter, East) combination vanished for both targets.
     assert_eq!(report.removed, 2);
@@ -192,17 +191,12 @@ fn target_value_mutation_recomputes_containing_subsets_only() {
         }
     });
 
-    let store = preprocess_full(&before_data);
+    let service = service_over(&before_data);
+    let store = service.tenant_store("refresh").unwrap();
     let before = store.snapshot();
-    let report = refresh(
-        &after_data,
-        &config(),
-        &GreedySummarizer::with_optimized_pruning(),
-        &PreprocessOptions::default(),
-        &store,
-        &changed_rows,
-    )
-    .unwrap();
+    let report = service
+        .refresh_tenant("refresh", &after_data, &changed_rows)
+        .unwrap();
 
     // Per target: overall, Winter, Summer, East, West, (Winter,East),
     // (Summer,West) contain a changed row; North and the other pairs do
@@ -283,16 +277,11 @@ fn refresh_equals_full_preprocess_for_random_mutations() {
             }
         });
 
-        let store = preprocess_full(&before_data);
-        refresh(
-            &after_data,
-            &config(),
-            &GreedySummarizer::with_optimized_pruning(),
-            &PreprocessOptions::default(),
-            &store,
-            &changed_rows,
-        )
-        .unwrap();
+        let service = service_over(&before_data);
+        let store = service.tenant_store("refresh").unwrap();
+        service
+            .refresh_tenant("refresh", &after_data, &changed_rows)
+            .unwrap();
         let reference = preprocess_full(&after_data);
         assert_eq!(
             store.snapshot(),

@@ -1,10 +1,10 @@
-//! Quickstart: summarize a small data set and answer a voice query.
+//! Quickstart: stand up a voice-query service, summarize a small data
+//! set, and answer a voice query.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use vqs_core::prelude::GreedySummarizer;
 use vqs_data::{DimSpec, SynthSpec, TargetSpec};
 use vqs_engine::prelude::*;
 
@@ -25,43 +25,45 @@ fn main() -> Result<()> {
     //    column the speeches describe.
     let config = Configuration::new("demo-flights", &["season", "region"], &["delay"]);
 
-    // 3. Pre-processing: one optimized speech per supported query.
-    let (store, report) = preprocess(
-        &data,
-        &config,
-        &GreedySummarizer::with_optimized_pruning(),
-        &PreprocessOptions::default(),
+    // 3. The service facade: one shared solver pool; registering the
+    //    dataset pre-generates one optimized speech per supported query.
+    let service = ServiceBuilder::new().build();
+    let report = service.register_dataset(
+        TenantSpec::new("demo-flights", data, config)
+            .target_synonyms("delay", &["delays", "how late"])
+            .help_text("Ask about delays by season or region, e.g. 'delays in Winter'."),
     )?;
     println!(
-        "pre-generated {} speeches for {} queries in {:?} ({:?} per query)",
+        "pre-generated {} speeches for {} queries in {:?} ({:?} per query, {:?} in the solver)",
         report.speeches,
         report.queries,
         report.elapsed,
-        report.per_query()
+        report.per_query(),
+        report.total_solver_time(),
     );
 
-    // 4. Run time: voice queries resolve to pre-generated speeches.
-    let relation = target_relation(&data, &config, "delay")?;
-    let extractor = Extractor::from_relation(&relation, config.max_query_length)
-        .with_target_synonyms("delay", &["delays", "how late"]);
-    let mut session = VoiceSession::new(
-        &store,
-        extractor,
-        "Ask about delays by season or region, e.g. 'delays in Winter'.",
-    );
+    // 4. Run time: voice requests resolve to pre-generated speeches
+    //    through the typed answer pipeline.
     for utterance in [
         "help",
         "delays in Winter?",
         "how late are flights in the North",
     ] {
-        let response = session.respond(utterance);
+        let response = service.respond(&ServiceRequest::new("demo-flights", utterance));
         println!("\nYou:    {utterance}");
-        println!("System: {}", response.text);
+        println!("System: {}", response.text());
         println!(
             "        ({}; answered in {}us)",
-            response.request.label(),
+            response.label(),
             response.latency_micros
         );
     }
+
+    // 5. Conversations with repeat handling are per-user sessions.
+    let mut session = service.session("demo-flights").expect("tenant registered");
+    let first = session.answer("delays in Winter?").text().to_string();
+    let again = session.answer("say that again");
+    assert_eq!(first, again.text());
+    println!("\n(repeat works: {})", again.text());
     Ok(())
 }

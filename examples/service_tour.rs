@@ -1,0 +1,136 @@
+//! Multi-tenant tour: one [`vqs_engine::service::VoiceService`] hosting
+//! two datasets behind a single shared solver pool — registration, live
+//! queries per tenant, a streaming-style delta refresh, per-tenant
+//! statistics, and eviction.
+//!
+//! ```text
+//! cargo run --release --example service_tour
+//! ```
+
+use vqs_engine::prelude::*;
+use vqs_relalg::prelude::{Table, Value};
+
+fn main() -> Result<()> {
+    // One service, one solver pool, many tenants.
+    let service = ServiceBuilder::new().build();
+    println!(
+        "service up with {} shared solver workers\n",
+        service.pool_workers()
+    );
+
+    // Tenant 1: the flights deployment.
+    let flights = vqs_data::flights_spec().generate(vqs_data::DEFAULT_SEED, 0.05);
+    let dims: Vec<&str> = flights.dims.iter().map(String::as_str).collect();
+    let report = service.register_dataset(
+        TenantSpec::new(
+            "flights",
+            flights.clone(),
+            Configuration::new("flights", &dims, &["cancelled"]),
+        )
+        .template(
+            "cancelled",
+            SpeechTemplate::per_mille("cancellation probability", "flights"),
+        )
+        .target_synonyms("cancelled", &["cancellations"]),
+    )?;
+    println!(
+        "registered 'flights': {} speeches in {:?}",
+        report.speeches, report.elapsed
+    );
+
+    // Tenant 2: the ACS disability deployment.
+    let acs = vqs_data::acs_spec().generate(vqs_data::DEFAULT_SEED, 0.05);
+    let dims: Vec<String> = acs.dims.clone();
+    let dims: Vec<&str> = dims.iter().map(String::as_str).collect();
+    let report = service.register_dataset(
+        TenantSpec::new(
+            "acs",
+            acs,
+            Configuration::new("acs", &dims, &["visual", "hearing"]),
+        )
+        .template(
+            "visual",
+            SpeechTemplate::per_mille("visual impairment rate", "persons"),
+        )
+        .target_synonyms("visual", &["visual impairment", "visual impairments"])
+        .target_synonyms("hearing", &["hearing impairment", "hearing impairments"]),
+    )?;
+    println!(
+        "registered 'acs':     {} speeches in {:?}\n",
+        report.speeches, report.elapsed
+    );
+    println!("tenants: {:?}\n", service.tenants());
+
+    // The same facade answers per tenant, with isolated stores.
+    for (tenant, utterance) in [
+        ("flights", "cancellations in Winter?"),
+        ("acs", "visual impairments in Brooklyn"),
+        ("acs", "hearing impairments for age 70-79"),
+        ("primaries", "support for candidate X"), // never registered
+    ] {
+        let response = service.respond(&ServiceRequest::new(tenant, utterance));
+        println!("[{tenant}] You:    {utterance}");
+        println!(
+            "[{tenant}] System: {} [{}]\n",
+            response.text(),
+            response.label()
+        );
+    }
+
+    // Streaming-style update: the first 50 flights get re-booked onto
+    // Winter (a dimension change keeps the global prior intact, so only
+    // the subsets containing those rows are re-summarized).
+    let changed_rows: Vec<usize> = (0..50).collect();
+    let schema = flights.table.schema().clone();
+    let season_col = schema.index_of("season").expect("column exists");
+    let rows: Vec<Vec<Value>> = flights
+        .table
+        .iter_rows()
+        .enumerate()
+        .map(|(row_index, mut row)| {
+            if row_index < 50 {
+                row[season_col] = Value::Str("Winter".into());
+            }
+            row
+        })
+        .collect();
+    let mutated = vqs_data::GeneratedDataset {
+        name: flights.name.clone(),
+        table: Table::from_rows(schema, rows).expect("schema unchanged"),
+        dims: flights.dims.clone(),
+        targets: flights.targets.clone(),
+    };
+    let refresh = service.refresh_tenant("flights", &mutated, &changed_rows)?;
+    println!(
+        "refreshed 'flights': {} recomputed, {} kept, {} removed in {:?}\n",
+        refresh.recomputed, refresh.kept, refresh.removed, refresh.elapsed
+    );
+
+    // Per-tenant instrumentation roll-ups.
+    let stats = service.stats();
+    println!(
+        "{:<10} {:>8} {:>9} {:>9} {:>11} {:>13}",
+        "tenant", "speeches", "requests", "lookups", "refreshes", "solver time"
+    );
+    for tenant in &stats.tenants {
+        println!(
+            "{:<10} {:>8} {:>9} {:>9} {:>11} {:>12.1?}",
+            tenant.tenant,
+            tenant.speeches,
+            tenant.requests,
+            tenant.store.lookups,
+            tenant.refreshes,
+            tenant.solver_time,
+        );
+    }
+    println!(
+        "totals: {} speeches, {} requests",
+        stats.total_speeches(),
+        stats.total_requests()
+    );
+
+    // Tenants come and go without touching each other.
+    assert!(service.evict_tenant("acs"));
+    println!("\nevicted 'acs'; tenants now: {:?}", service.tenants());
+    Ok(())
+}

@@ -1,7 +1,7 @@
-//! End-to-end integration: data set → configuration → parallel
-//! pre-processing → speech store → text-to-query extraction → voice
-//! session, plus the deployment-log classification pipeline — the whole
-//! Fig. 2 system in one test file.
+//! End-to-end integration: data set → configuration → service facade →
+//! speech store → text-to-query extraction → typed answers, plus the
+//! deployment-log classification pipeline — the whole Fig. 2 system in
+//! one test file, driven through [`vqs_engine::service::VoiceService`].
 
 use vqs_baseline::sampling::{vocalize, SamplingConfig};
 use vqs_core::prelude::*;
@@ -34,27 +34,24 @@ fn config() -> Configuration {
 }
 
 #[test]
-fn preprocess_and_answer_with_every_summarizer() {
+fn register_and_answer_with_every_summarizer() {
     let data = dataset();
-    let config = config();
-    let summarizers: Vec<Box<dyn Summarizer + Sync>> = vec![
+    let summarizers: Vec<Box<dyn Summarizer + Send + Sync>> = vec![
         Box::new(GreedySummarizer::base()),
         Box::new(GreedySummarizer::with_naive_pruning()),
         Box::new(GreedySummarizer::with_optimized_pruning()),
     ];
     let mut utilities: Vec<f64> = Vec::new();
-    for summarizer in &summarizers {
-        let (store, report) = preprocess(
-            &data,
-            &config,
-            summarizer.as_ref(),
-            &PreprocessOptions {
-                workers: 4,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    for summarizer in summarizers {
+        let service = ServiceBuilder::new()
+            .workers(4)
+            .summarizer_box(summarizer)
+            .build();
+        let report = service
+            .register_dataset(TenantSpec::new("e2e", data.clone(), config()))
+            .unwrap();
         assert_eq!(report.queries, report.speeches);
+        let store = service.tenant_store("e2e").unwrap();
         assert!(store.len() > 20);
         // The overall query must always be answerable.
         let overall = store.get(&Query::of("cancelled", &[])).unwrap();
@@ -73,13 +70,11 @@ fn stored_speeches_respect_configuration_limits() {
     let mut config = config();
     config.speech_length = 2;
     config.max_fact_dimensions = 1;
-    let (store, _) = preprocess(
-        &data,
-        &config,
-        &GreedySummarizer::with_optimized_pruning(),
-        &PreprocessOptions::default(),
-    )
-    .unwrap();
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(TenantSpec::new("e2e", data, config))
+        .unwrap();
+    let store = service.tenant_store("e2e").unwrap();
     for query in store.queries() {
         let speech = store.get(&query).unwrap();
         assert!(speech.facts.len() <= 2, "{query}");
@@ -97,54 +92,61 @@ fn stored_speeches_respect_configuration_limits() {
 }
 
 #[test]
-fn voice_session_round_trip() {
+fn voice_round_trip_through_the_facade() {
     let data = dataset();
-    let config = config();
-    let mut options = PreprocessOptions::default();
-    options.templates.insert(
-        "cancelled".to_string(),
-        SpeechTemplate::per_mille("cancellation probability", "flights"),
-    );
-    let (store, _) = preprocess(
-        &data,
-        &config,
-        &GreedySummarizer::with_optimized_pruning(),
-        &options,
-    )
-    .unwrap();
-    let relation = target_relation(&data, &config, "cancelled").unwrap();
-    let extractor = Extractor::from_relation(&relation, config.max_query_length)
-        .with_target_synonyms("cancelled", &["cancellations"]);
-    let mut session = VoiceSession::new(&store, extractor, "Ask about cancellations.");
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(
+            TenantSpec::new("e2e", data, config())
+                .template(
+                    "cancelled",
+                    SpeechTemplate::per_mille("cancellation probability", "flights"),
+                )
+                .target_synonyms("cancelled", &["cancellations"]),
+        )
+        .unwrap();
 
-    // Example 5's query shape works end to end.
-    let response = session.respond("cancellations in Winter?");
-    assert!(matches!(response.request, Request::Query(_)));
-    assert!(response.text.contains("For season Winter"));
-    assert!(response.text.contains("out of 1000 flights"));
+    // Example 5's query shape works end to end, statelessly.
+    let response = service.respond(&ServiceRequest::new("e2e", "cancellations in Winter?"));
+    assert!(matches!(response.request, Some(Request::Query(_))));
+    assert!(matches!(
+        response.answer,
+        Answer::Speech {
+            kept_predicates: None,
+            ..
+        }
+    ));
+    assert!(response.text().contains("For season Winter"));
+    assert!(response.text().contains("out of 1000 flights"));
 
     // Three predicates exceed the pre-processed query length: the store
     // falls back to the most specific generalization (§III).
-    let response = session.respond("cancellations in Winter in the East on airline0");
+    let response = service.respond(&ServiceRequest::new(
+        "e2e",
+        "cancellations in Winter in the East on airline0",
+    ));
     assert!(response.speaking_secs > 0.0);
-    assert!(!response.text.is_empty());
+    assert!(!response.text().is_empty());
 
-    // Repeat replays verbatim.
-    let repeated = session.respond("repeat");
-    assert_eq!(repeated.text, response.text);
+    // Repeat replays verbatim — in a stateful session.
+    let mut session = service.session("e2e").unwrap();
+    let first = session.answer("cancellations in Winter in the East on airline0");
+    let repeated = session.answer("repeat");
+    assert_eq!(repeated.text(), first.text());
+
+    // An unknown tenant is a typed answer, not a panic.
+    let unknown = service.respond(&ServiceRequest::new("nope", "cancellations in Winter?"));
+    assert!(matches!(unknown.answer, Answer::UnknownTenant { .. }));
 }
 
 #[test]
 fn fallback_lookup_prefers_most_specific_generalization() {
     let data = dataset();
-    let config = config();
-    let (store, _) = preprocess(
-        &data,
-        &config,
-        &GreedySummarizer::base(),
-        &PreprocessOptions::default(),
-    )
-    .unwrap();
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(TenantSpec::new("e2e", data, config()))
+        .unwrap();
+    let store = service.tenant_store("e2e").unwrap();
     // A three-predicate query was never pre-processed (max length 2).
     let query = Query::of(
         "cancelled",
@@ -200,12 +202,17 @@ fn deployment_log_pipeline_matches_table3() {
     let data = dataset();
     let config = config();
     let relation = target_relation(&data, &config, "cancelled").unwrap();
-    let extractor = Extractor::from_relation(&relation, config.max_query_length)
-        .with_target_synonyms("cancelled", &["cancellations"])
-        .with_unavailable_markers(&["flight"]);
+    let service = ServiceBuilder::new().build();
+    service
+        .register_dataset(
+            TenantSpec::new("e2e", data, config)
+                .target_synonyms("cancelled", &["cancellations"])
+                .unavailable_markers(&["flight"]),
+        )
+        .unwrap();
     for (i, mix) in TABLE3.iter().enumerate() {
         let log = generate_log(&relation, "cancellations", mix, 900 + i as u64);
-        let counts = tabulate(&extractor, &log);
+        let counts = service.replay("e2e", &log).unwrap();
         assert_eq!(
             counts,
             [mix.help, mix.repeat, mix.s_query, mix.u_query, mix.other],
@@ -216,20 +223,14 @@ fn deployment_log_pipeline_matches_table3() {
 }
 
 #[test]
-fn parallel_preprocessing_is_deterministic() {
+fn facade_preprocessing_is_deterministic_in_pool_size() {
     let data = dataset();
-    let config = config();
     let run = |workers: usize| {
-        let (store, _) = preprocess(
-            &data,
-            &config,
-            &GreedySummarizer::with_optimized_pruning(),
-            &PreprocessOptions {
-                workers,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let service = ServiceBuilder::new().workers(workers).build();
+        service
+            .register_dataset(TenantSpec::new("e2e", data.clone(), config()))
+            .unwrap();
+        let store = service.tenant_store("e2e").unwrap();
         let mut texts: Vec<(String, String)> = store
             .queries()
             .into_iter()
