@@ -1,0 +1,310 @@
+//! Front-end perf trajectory recorder: drives the mixed-tenant
+//! `bench_service` workload through the bounded [`FrontEnd`] queue and
+//! emits `BENCH_frontend.json` with three sections:
+//!
+//! * `direct` — the baseline: the same workload via bare
+//!   `VoiceService::respond` calls (what `bench_service` measures).
+//! * `frontend` — the workload submitted through the admission queue
+//!   with pipelined clients; records saturation throughput and the
+//!   ratio against the direct baseline (the acceptance bar is ≥ 0.9).
+//! * `burst` — a synchronized thundering herd far past a small
+//!   admission cap: explicit-shed rate, peak queue depth (bounded!),
+//!   and p50/p99 submit→completion latency of the *served* requests.
+//!
+//! CI runs it as a smoke step (valid JSON, no thresholds); the
+//! committed baseline forms the trajectory across PRs.
+//!
+//! Usage: `bench_frontend [--out PATH] [--scale X] [--requests N]
+//! [--threads T] [--workers W] [--burst N] [--burst-queue N]`
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vqs_bench::{scenario_dataset, single_target_config, RunConfig};
+use vqs_engine::prelude::*;
+
+/// The pinned tenants, identical to `bench_service`.
+const PINNED: [(&str, char, &str); 2] = [("flights", 'F', "cancelled"), ("acs", 'A', "hearing")];
+
+/// Requests per [`FrontEnd::submit_all`] chunk in the throughput phase
+/// (amortizes the queue-lock handoff, as an aggregating gateway would).
+const CHUNK: usize = 64;
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted_micros.len() - 1) as f64).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut requests = 2_000usize;
+    let mut threads = 4usize;
+    let mut workers = 3usize;
+    let mut burst = 4_096usize;
+    let mut burst_queue = 128usize;
+    let mut config = RunConfig {
+        scale: 0.02,
+        ..Default::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--scale" => config.scale = value("--scale").parse().expect("numeric scale"),
+            "--requests" => requests = value("--requests").parse().expect("numeric count"),
+            "--threads" => threads = value("--threads").parse().expect("numeric count"),
+            "--workers" => workers = value("--workers").parse().expect("numeric count"),
+            "--burst" => burst = value("--burst").parse().expect("numeric count"),
+            "--burst-queue" => burst_queue = value("--burst-queue").parse().expect("numeric count"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // ---- Shared fixture: the bench_service mixed-tenant deployment.
+    let service = Arc::new(ServiceBuilder::new().build());
+    let mut logs: Vec<(String, Vec<LogEntry>)> = Vec::new();
+    for (tenant, letter, target) in PINNED {
+        let dataset = scenario_dataset(letter, &config);
+        let engine_config = single_target_config(&dataset, target);
+        let relation = target_relation(&dataset, &engine_config, target).expect("pinned target");
+        service
+            .register_dataset(TenantSpec::new(tenant, dataset, engine_config))
+            .expect("registration succeeds");
+        let mix = RequestMix {
+            name: "bench",
+            help: 0,
+            repeat: 0,
+            s_query: requests,
+            u_query: 0,
+            other: 0,
+        };
+        let phrase = target.replace('_', " ");
+        logs.push((
+            tenant.to_string(),
+            generate_log(&relation, &phrase, &mix, 0xF0E7),
+        ));
+    }
+    let logs = &logs;
+    let pick = |worker: usize, round: usize| -> ServiceRequest {
+        let (tenant, log) = &logs[(worker + round) % logs.len()];
+        let entry = &log[(worker * 7919 + round) % log.len()];
+        ServiceRequest::new(tenant, &entry.text)
+    };
+
+    // ---- Throughput: direct baseline vs the bounded front-end,
+    // interleaved over several rounds with the best round of each kept
+    // (the phases are tens of milliseconds; interleaving + best-of-N
+    // cancels background machine noise the way criterion's sampling
+    // does).
+    let mut direct_secs = f64::MAX;
+    let mut fe_secs = f64::MAX;
+    let direct_total = threads * requests;
+    let fe_total = threads * requests;
+    // Back-pressured producers: clients fire their whole workload in
+    // tenant-homogeneous chunks and rely on the Block policy at the
+    // bounded queue — they park while the serving workers drain, so
+    // this measures the worker set's saturation throughput through the
+    // admission queue (the shed path is exercised by the burst phase).
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(workers)
+        .queue_capacity(1024)
+        .policy(OverloadPolicy::Block)
+        .build();
+    for _ in 0..3 {
+        let start = Instant::now();
+        let round_total: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let service = &service;
+                    scope.spawn(move || {
+                        for round in 0..requests {
+                            let response = service.respond(&pick(worker, round));
+                            assert!(!response.text().is_empty());
+                        }
+                        requests
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(round_total, direct_total);
+        direct_secs = direct_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let round_total: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let frontend = &frontend;
+                    scope.spawn(move || {
+                        // Tenant-homogeneous chunks, alternating tenants
+                        // per chunk — the shape an aggregating gateway
+                        // produces, and still a mixed-tenant workload.
+                        let mut outstanding: VecDeque<ChunkTicket> =
+                            VecDeque::with_capacity(requests / CHUNK + 1);
+                        let mut served = 0usize;
+                        let mut round = 0usize;
+                        while round < requests {
+                            let chunk = CHUNK.min(requests - round);
+                            let (tenant, log) = &logs[(worker + round / CHUNK) % logs.len()];
+                            let batch: Vec<ServiceRequest> = (0..chunk)
+                                .map(|i| {
+                                    let entry = &log[(worker * 7919 + round + i) % log.len()];
+                                    ServiceRequest::new(tenant, &entry.text)
+                                })
+                                .collect();
+                            outstanding.push_back(frontend.submit_chunk(batch));
+                            round += chunk;
+                        }
+                        // Wait for the tail first: per-lane FIFO means the
+                        // last submitted chunk completes (nearly) last, so
+                        // the rest drain on the lock-free ready path instead
+                        // of parking once per ticket.
+                        if let Some(last) = outstanding.pop_back() {
+                            served += last.into_inner().len();
+                        }
+                        for ticket in outstanding {
+                            let responses = ticket.into_inner();
+                            assert!(responses.iter().all(|r| !r.text().is_empty()));
+                            served += responses.len();
+                        }
+                        served
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(round_total, fe_total);
+        fe_secs = fe_secs.min(start.elapsed().as_secs_f64());
+    }
+    let direct_per_sec = direct_total as f64 / direct_secs.max(1e-9);
+    let fe_per_sec = fe_total as f64 / fe_secs.max(1e-9);
+    let fe_stats = frontend.stats();
+    assert_eq!(fe_stats.shed, 0, "throughput phase must not shed");
+    assert_eq!(fe_stats.completed as usize, 3 * fe_total);
+    frontend.shutdown();
+
+    // ---- Saturation burst: a herd far past a small admission cap.
+    // Every request is fired without waiting; the queue must stay
+    // bounded and the overflow must come back as explicit overload
+    // answers rather than latency.
+    let burst_frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(workers)
+        .queue_capacity(burst_queue)
+        .build();
+    let per_thread = burst.div_ceil(threads);
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(burst);
+    let mut shed_answers = 0usize;
+    let outcomes: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let frontend = &burst_frontend;
+                scope.spawn(move || {
+                    let mut tickets = Vec::with_capacity(per_thread);
+                    for round in 0..per_thread {
+                        tickets.push((Instant::now(), frontend.submit(pick(worker, round))));
+                    }
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    let mut shed = 0usize;
+                    for (submitted, ticket) in tickets {
+                        let response = ticket.into_inner();
+                        if matches!(response.answer, Answer::Overloaded { .. }) {
+                            shed += 1;
+                        } else {
+                            latencies.push(submitted.elapsed().as_micros() as u64);
+                        }
+                    }
+                    (latencies, shed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let burst_secs = start.elapsed().as_secs_f64();
+    for (lat, shed) in outcomes {
+        latencies.extend(lat);
+        shed_answers += shed;
+    }
+    latencies.sort_unstable();
+    let burst_stats = burst_frontend.stats();
+    assert_eq!(burst_stats.shed as usize, shed_answers);
+    assert!(
+        burst_stats.peak_queued as usize <= burst_queue,
+        "queue depth {} exceeded the admission cap {}",
+        burst_stats.peak_queued,
+        burst_queue
+    );
+    burst_frontend.shutdown();
+    let offered = per_thread * threads;
+    let served = offered - shed_answers;
+
+    let mut lines = Vec::new();
+    lines.push("{".to_string());
+    lines.push("  \"schema\": \"vqs-bench-frontend/v1\",".to_string());
+    lines.push(format!("  \"scale\": {},", config.scale));
+    lines.push("  \"direct\": {".to_string());
+    lines.push(format!("    \"threads\": {threads},"));
+    lines.push(format!("    \"requests\": {direct_total},"));
+    lines.push(format!("    \"wall_ms\": {:.3},", direct_secs * 1e3));
+    lines.push(format!("    \"requests_per_sec\": {direct_per_sec:.0}"));
+    lines.push("  },".to_string());
+    lines.push("  \"frontend\": {".to_string());
+    lines.push(format!("    \"workers\": {workers},"));
+    lines.push(format!("    \"threads\": {threads},"));
+    lines.push("    \"queue_capacity\": 1024,".to_string());
+    lines.push(format!("    \"requests\": {fe_total},"));
+    lines.push(format!("    \"wall_ms\": {:.3},", fe_secs * 1e3));
+    lines.push(format!("    \"requests_per_sec\": {fe_per_sec:.0},"));
+    lines.push(format!(
+        "    \"ratio_vs_direct\": {:.3}",
+        fe_per_sec / direct_per_sec.max(1e-9)
+    ));
+    lines.push("  },".to_string());
+    lines.push("  \"burst\": {".to_string());
+    lines.push(format!("    \"queue_capacity\": {burst_queue},"));
+    lines.push(format!("    \"offered\": {offered},"));
+    lines.push(format!("    \"served\": {served},"));
+    lines.push(format!("    \"shed\": {shed_answers},"));
+    lines.push(format!(
+        "    \"shed_rate\": {:.3},",
+        shed_answers as f64 / offered.max(1) as f64
+    ));
+    lines.push(format!("    \"peak_queued\": {},", burst_stats.peak_queued));
+    lines.push(format!("    \"wall_ms\": {:.3},", burst_secs * 1e3));
+    lines.push(format!(
+        "    \"p50_micros\": {},",
+        percentile(&latencies, 0.50)
+    ));
+    lines.push(format!(
+        "    \"p99_micros\": {}",
+        percentile(&latencies, 0.99)
+    ));
+    lines.push("  }".to_string());
+    lines.push("}".to_string());
+    let mut json = lines.join("\n");
+    json.push('\n');
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write BENCH_frontend.json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -28,6 +28,20 @@ pub enum EngineError {
         /// The tenant name.
         name: String,
     },
+    /// The serving front-end refused to admit the request: its ingress
+    /// queue (or the named tenant's fair share of it) was full under the
+    /// shed policy.
+    Overloaded {
+        /// The tenant the rejected request addressed.
+        tenant: String,
+    },
+    /// A background job (registration, refresh, or task) panicked on a
+    /// serving worker; the panic was contained and the job's ticket
+    /// completed with this error instead of hanging its waiters.
+    Internal {
+        /// The panic payload, when it was a string.
+        what: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -47,6 +61,15 @@ impl fmt::Display for EngineError {
             }
             EngineError::DuplicateTenant { name } => {
                 write!(f, "a tenant named '{name}' is already registered")
+            }
+            EngineError::Overloaded { tenant } => {
+                write!(
+                    f,
+                    "the front-end shed this request for tenant '{tenant}': admission queue full"
+                )
+            }
+            EngineError::Internal { what } => {
+                write!(f, "a serving worker contained a panic: {what}")
             }
         }
     }
@@ -97,5 +120,13 @@ mod tests {
             name: "flights".into(),
         };
         assert!(e.to_string().contains("already registered"));
+        let e = EngineError::Overloaded {
+            tenant: "flights".into(),
+        };
+        assert!(e.to_string().contains("shed"));
+        let e = EngineError::Internal {
+            what: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
     }
 }

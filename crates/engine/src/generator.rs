@@ -29,7 +29,7 @@ use vqs_relalg::hash::{FxHashMap, FxHashSet};
 use crate::config::Configuration;
 use crate::error::{EngineError, Result};
 use crate::problem::{NamedFact, Query, StoredSpeech};
-use crate::service::SolverPool;
+use crate::service::{ScatterPriority, SolverPool};
 use crate::store::SpeechStore;
 use crate::template::SpeechTemplate;
 
@@ -44,15 +44,17 @@ use crate::template::SpeechTemplate;
 pub(crate) enum Workers<'p> {
     /// Spawn `n` scoped threads for this call only.
     Scoped(usize),
-    /// Run on the shared long-lived pool.
-    Pool(&'p SolverPool),
+    /// Run on the shared long-lived pool, queued on the given lane
+    /// (registrations ride [`ScatterPriority::Bulk`], delta refreshes
+    /// the interactive fast lane — see [`SolverPool::scatter_at`]).
+    Pool(&'p SolverPool, ScatterPriority),
 }
 
 impl Workers<'_> {
     fn available(&self) -> usize {
         match self {
             Workers::Scoped(n) => *n,
-            Workers::Pool(pool) => pool.workers(),
+            Workers::Pool(pool, _) => pool.workers(),
         }
     }
 }
@@ -376,7 +378,7 @@ fn run_jobs<S: Summarizer + Sync + ?Sized>(
         (solved, failure, solver_time)
     };
     let per_worker: Vec<WorkerOutput> = match workers {
-        Workers::Pool(pool) => pool.scatter(worker_count, worker_body),
+        Workers::Pool(pool, priority) => pool.scatter_at(priority, worker_count, worker_body),
         Workers::Scoped(_) => std::thread::scope(|scope| {
             let handles: Vec<_> = (0..worker_count)
                 .map(|worker| {

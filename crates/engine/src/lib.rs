@@ -10,8 +10,12 @@
 //! [`service::Answer`] enum distinguishes stored speeches, extension
 //! answers, help, and apologies. Delta refreshes
 //! ([`service::VoiceService::refresh_tenant`]) re-summarize only the
-//! queries whose data subset changed. [`logsim`] replays the §VIII-D
-//! public-deployment workload.
+//! queries whose data subset changed. Production traffic enters
+//! through the non-blocking [`service::frontend`]: a bounded admission
+//! queue with per-tenant fairness, explicit overload shedding
+//! ([`service::Answer::Overloaded`]), and an interactive priority lane
+//! over background registrations/refreshes. [`logsim`] replays the
+//! §VIII-D public-deployment workload.
 //!
 //! ```
 //! use vqs_engine::prelude::*;
@@ -78,8 +82,10 @@ pub mod prelude {
     pub use crate::nlq::{Extractor, Request, Unsupported};
     pub use crate::problem::{NamedFact, Query, StoredSpeech};
     pub use crate::service::{
-        Answer, ServiceBuilder, ServiceRequest, ServiceResponse, ServiceStats, SolverPool,
-        TenantSpec, TenantStats, VoiceService,
+        Answer, ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, OverloadPolicy,
+        RefreshTicket, RegisterTicket, ResponseTicket, ScatterPriority, ServiceBuilder,
+        ServiceRequest, ServiceResponse, ServiceStats, SolverPool, TaskTicket, TenantSpec,
+        TenantStats, Ticket, VoiceService,
     };
     pub use crate::store::{Lookup, SpeechStore, StoreStats, DEFAULT_SHARDS};
     pub use crate::template::{format_value, speaking_time_secs, SpeechTemplate, ValueStyle};

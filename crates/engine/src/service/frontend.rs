@@ -1,0 +1,1418 @@
+//! The non-blocking serving front-end: admission control over a
+//! [`VoiceService`].
+//!
+//! [`VoiceService::respond`] is lock-light and `&self`, so any number of
+//! threads *can* call it directly — but a thread per voice session does
+//! not survive bursty production traffic: a load spike either spawns
+//! unbounded threads or blocks callers for unbounded time. The
+//! [`FrontEnd`] multiplexes many concurrent sessions over a small fixed
+//! worker set instead:
+//!
+//! * **Bounded ingress.** [`FrontEnd::submit`] enqueues the request and
+//!   immediately returns a [`ResponseTicket`] — a future-style handle
+//!   completed by a serving worker. The queue is bounded; past the
+//!   configured capacity the request is *shed* with an explicit
+//!   [`Answer::Overloaded`] (or, under [`OverloadPolicy::Block`], the
+//!   submitter waits for space). Nothing inside grows with offered load.
+//! * **Per-tenant fairness.** Queued requests live in per-tenant FIFO
+//!   lanes served round-robin, and each tenant's queue share is capped
+//!   ([`FrontEndBuilder::tenant_share`]), so one hot tenant saturating
+//!   the service cannot starve the others: its overflow is shed while
+//!   other tenants keep being admitted.
+//! * **A priority lane.** Background work — tenant registration and
+//!   delta refreshes submitted through [`FrontEnd::submit_register`] /
+//!   [`FrontEnd::submit_refresh`] — rides a separate control lane served
+//!   only when no interactive request is queued (with aging: sustained
+//!   interactive load delays background work by a bounded number of
+//!   batches rather than starving it). Combined with the bulk tag such
+//!   batches carry into the shared
+//!   [`SolverPool`](crate::service::SolverPool), a large registration
+//!   cannot delay live `respond` traffic beyond the request currently
+//!   being served.
+//! * **Graceful shutdown.** Dropping the front-end (or calling
+//!   [`FrontEnd::shutdown`]) drains every admitted request — tickets are
+//!   never lost — and joins the workers.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vqs_engine::prelude::*;
+//! use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+//!
+//! let data = SynthSpec {
+//!     name: "demo".into(),
+//!     dims: vec![DimSpec::named("season", &["Winter", "Summer"])],
+//!     targets: vec![TargetSpec::new("delay", 15.0, 6.0, 2.0, (0.0, 60.0))],
+//!     rows: 200,
+//! }.generate(1, 1.0);
+//! let config = Configuration::new("demo", &["season"], &["delay"]);
+//!
+//! let service = Arc::new(ServiceBuilder::new().workers(2).build());
+//! service
+//!     .register_dataset(TenantSpec::new("demo", data, config))
+//!     .unwrap();
+//!
+//! let frontend = FrontEnd::builder(Arc::clone(&service))
+//!     .workers(2)
+//!     .queue_capacity(128)
+//!     .build();
+//! let ticket = frontend.submit(ServiceRequest::new("demo", "delay in Winter?"));
+//! let response = ticket.wait();
+//! assert!(response.answer.is_speech());
+//! assert_eq!(frontend.stats().completed, 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vqs_data::GeneratedDataset;
+use vqs_relalg::hash::FxHashMap;
+
+use crate::error::{EngineError, Result};
+use crate::generator::{PreprocessReport, RefreshReport};
+use crate::service::{
+    Answer, ServiceRequest, ServiceResponse, Tenant, TenantSpec, VoiceService, INTERNAL_ERROR,
+    OVERLOADED,
+};
+use crate::template::speaking_time_secs;
+
+/// How many queued interactive requests one worker claims per queue-lock
+/// acquisition (round-robin across tenant lanes), amortizing the handoff
+/// cost under load.
+const SERVE_BATCH: usize = 32;
+
+/// After this many consecutive interactive batches, a queued background
+/// job is served even though interactive work is still queued:
+/// interactive traffic keeps priority, but sustained load can only
+/// *delay* a registration or refresh, never starve it forever.
+const BACKGROUND_AGING: usize = 8;
+
+/// Emptied per-tenant lanes are kept (their buffers are reused) only up
+/// to this many lanes; beyond it, emptied lanes are dropped so ingress
+/// state stays bounded even when clients invent tenant names.
+const RETAINED_LANES: usize = 64;
+
+/// Distinct tenants tracked by the per-tenant shed counters; rejections
+/// for names beyond this bucket into a `"(other)"` row so the map
+/// cannot grow without bound under an adversarial name flood.
+const SHED_TENANT_CAP: usize = 256;
+
+/// What [`FrontEnd::submit`] does when admission would exceed a global
+/// cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Reject immediately: the ticket completes with
+    /// [`Answer::Overloaded`] (interactive) or
+    /// [`EngineError::Overloaded`] (background). The default — shedding
+    /// keeps the submitter non-blocked, which is what a voice gateway
+    /// wants: "try again" beats silence.
+    #[default]
+    Shed,
+    /// Block the submitting thread until the queue has space. Overflow
+    /// of a *tenant's* fair share still sheds (see
+    /// [`FrontEndBuilder::tenant_share`]): blocking a flooding tenant
+    /// would merely move the starvation to its submitter threads.
+    Block,
+}
+
+/// Shared completion state of one ticket. The value lives in a
+/// [`OnceLock`], so readiness checks and completed-value reads are
+/// lock-free; the mutex guards only the count of parked waiters, and a
+/// completion pays the condvar notification only when somebody is
+/// actually parked.
+struct TicketInner<T> {
+    value: OnceLock<T>,
+    waiters: Mutex<u32>,
+    ready: Condvar,
+}
+
+/// A future-style handle to one admitted request. Cloneable — any number
+/// of threads may wait on or poll the same ticket; every waiter observes
+/// the same completed value.
+pub struct Ticket<T: Clone> {
+    inner: Arc<TicketInner<T>>,
+}
+
+impl<T: Clone> Clone for Ticket<T> {
+    fn clone(&self) -> Self {
+        Ticket {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<T: Clone> Ticket<T> {
+    fn pending() -> Ticket<T> {
+        Ticket {
+            inner: Arc::new(TicketInner {
+                value: OnceLock::new(),
+                waiters: Mutex::new(0),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    fn completed(value: T) -> Ticket<T> {
+        let ticket = Ticket::pending();
+        let _ = ticket.inner.value.set(value);
+        ticket
+    }
+
+    fn complete(&self, value: T) {
+        let won = self.inner.value.set(value).is_ok();
+        debug_assert!(won, "ticket completed twice");
+        // Registration of a waiter happens under the mutex after a
+        // failed lock-free read, so taking the mutex here orders this
+        // wakeup after any in-flight registration — and skips the
+        // condvar entirely in the common nobody-parked case.
+        let waiters = self.inner.waiters.lock().expect("ticket poisoned");
+        if *waiters > 0 {
+            self.inner.ready.notify_all();
+        }
+    }
+
+    /// Park until the value is set (lock-free fast path first).
+    fn block_until_ready(&self) {
+        if self.inner.value.get().is_some() {
+            return;
+        }
+        let mut waiters = self.inner.waiters.lock().expect("ticket poisoned");
+        while self.inner.value.get().is_none() {
+            *waiters += 1;
+            waiters = self.inner.ready.wait(waiters).expect("ticket poisoned");
+            *waiters -= 1;
+        }
+    }
+
+    /// Whether the result is available ([`Ticket::wait`] would not
+    /// block). Lock-free.
+    pub fn is_ready(&self) -> bool {
+        self.inner.value.get().is_some()
+    }
+
+    /// Block until the request completed and return its result.
+    pub fn wait(&self) -> T {
+        self.block_until_ready();
+        self.inner.value.get().cloned().expect("ticket ready above")
+    }
+
+    /// [`Ticket::wait`], consuming the handle. When this is the last
+    /// handle to the ticket (the common single-consumer case — the
+    /// serving worker drops its own handle at completion), the result
+    /// is moved out instead of cloned, which keeps the per-request
+    /// overhead allocation-free on the hot path.
+    pub fn into_inner(self) -> T {
+        self.block_until_ready();
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.value.into_inner().expect("ticket ready above"),
+            Err(inner) => inner.value.get().cloned().expect("ticket ready above"),
+        }
+    }
+
+    /// [`Ticket::wait`] with a deadline; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        if let Some(value) = self.inner.value.get() {
+            return Some(value.clone());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut waiters = self.inner.waiters.lock().expect("ticket poisoned");
+        loop {
+            if let Some(value) = self.inner.value.get() {
+                return Some(value.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            *waiters += 1;
+            let (guard, _) = self
+                .inner
+                .ready
+                .wait_timeout(waiters, deadline - now)
+                .expect("ticket poisoned");
+            waiters = guard;
+            *waiters -= 1;
+        }
+    }
+}
+
+/// Ticket for one interactive request; completes with the same
+/// [`ServiceResponse`] a direct [`VoiceService::respond`] call returns
+/// (or an [`Answer::Overloaded`] response when shed).
+pub type ResponseTicket = Ticket<ServiceResponse>;
+/// Ticket for one [`FrontEnd::submit_chunk`]; completes with one
+/// response per request, in submission order.
+pub type ChunkTicket = Ticket<Vec<ServiceResponse>>;
+/// Ticket for a background [`FrontEnd::submit_register`].
+pub type RegisterTicket = Ticket<Result<PreprocessReport>>;
+/// Ticket for a background [`FrontEnd::submit_refresh`].
+pub type RefreshTicket = Ticket<Result<RefreshReport>>;
+/// Ticket for a background [`FrontEnd::submit_task`].
+pub type TaskTicket = Ticket<()>;
+
+/// Render a contained panic payload for [`EngineError::Internal`].
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// The response a request completes with when the serving worker
+/// contained a panic while answering it: a typed [`Answer::Internal`]
+/// (a bug signal, distinct from overload), unattributed — the request
+/// was consumed by the panicking call. Completing beats hanging the
+/// waiter forever.
+fn contained_panic_response(
+    payload: Box<dyn std::any::Any + Send>,
+    start: Instant,
+) -> ServiceResponse {
+    ServiceResponse {
+        tenant: String::new(),
+        request: None,
+        speaking_secs: speaking_time_secs(INTERNAL_ERROR),
+        session: None,
+        latency_micros: start.elapsed().as_micros() as u64,
+        answer: Answer::Internal {
+            what: panic_text(payload),
+        },
+    }
+}
+
+/// A queued interactive request.
+struct QueuedRespond {
+    request: ServiceRequest,
+    ticket: ResponseTicket,
+}
+
+/// One entry in an interactive lane: a single request with its own
+/// ticket, or a whole [`FrontEnd::submit_chunk`] chunk completing one
+/// ticket (the high-throughput shape — per-request queue and ticket
+/// costs are amortized across the chunk).
+enum Queued {
+    One(QueuedRespond),
+    Chunk {
+        requests: Vec<ServiceRequest>,
+        ticket: ChunkTicket,
+    },
+}
+
+impl Queued {
+    /// Requests carried by this entry.
+    fn len(&self) -> usize {
+        match self {
+            Queued::One(_) => 1,
+            Queued::Chunk { requests, .. } => requests.len(),
+        }
+    }
+}
+
+/// A tenant's FIFO lane plus its queued-request total (entries may be
+/// multi-request chunks, so the total is not the entry count).
+#[derive(Default)]
+struct Lane {
+    entries: VecDeque<Queued>,
+    queued: usize,
+}
+
+/// A queued background job (registration, refresh, or ad-hoc task);
+/// completes its own ticket.
+type BackgroundJob = Box<dyn FnOnce(&VoiceService) + Send + 'static>;
+
+/// The ingress state, under one lock.
+struct Ingress {
+    /// Per-tenant FIFO lanes of the interactive queue.
+    lanes: FxHashMap<String, Lane>,
+    /// Tenants with a non-empty lane, in round-robin dispatch order.
+    rotation: VecDeque<String>,
+    /// Total requests across all interactive lanes.
+    interactive_queued: usize,
+    /// Interactive requests admitted but not yet completed
+    /// (queued + executing).
+    in_flight: usize,
+    /// The background/control lane.
+    background: VecDeque<BackgroundJob>,
+    /// Consecutive interactive batches served since the last background
+    /// job (drives [`BACKGROUND_AGING`]).
+    interactive_streak: usize,
+    /// Workers currently parked on `work_ready`.
+    idle_workers: usize,
+    /// Interactive submitters parked for queue space (Block policy).
+    blocked_interactive: usize,
+    /// Background submitters parked for control-lane space (Block
+    /// policy).
+    blocked_background: usize,
+    /// Set once by shutdown; workers drain both lanes, then exit.
+    shutdown: bool,
+}
+
+/// Monotonic counters, read through [`FrontEnd::stats`].
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    blocked: AtomicU64,
+    background_submitted: AtomicU64,
+    background_completed: AtomicU64,
+    peak_queued: AtomicU64,
+    contained_panics: AtomicU64,
+    shed_by_tenant: Mutex<FxHashMap<String, u64>>,
+}
+
+/// State shared between the front-end handle and its serving workers.
+struct FrontShared {
+    ingress: Mutex<Ingress>,
+    work_ready: Condvar,
+    /// Wakes interactive submitters parked for queue space.
+    space_interactive: Condvar,
+    /// Wakes background submitters parked for control-lane space.
+    space_background: Condvar,
+    counters: Counters,
+}
+
+/// A point-in-time snapshot of the front-end counters.
+#[derive(Debug, Clone, Default)]
+pub struct FrontEndStats {
+    /// Interactive requests offered to [`FrontEnd::submit`].
+    pub submitted: u64,
+    /// Interactive requests completed by a serving worker.
+    pub completed: u64,
+    /// Interactive requests rejected with [`Answer::Overloaded`].
+    pub shed: u64,
+    /// Times a submitter blocked for queue space
+    /// ([`OverloadPolicy::Block`]).
+    pub blocked: u64,
+    /// Background jobs admitted (registrations, refreshes, tasks).
+    pub background_submitted: u64,
+    /// Background jobs claimed and run by a worker (counted as the job
+    /// starts; every claimed job runs to completion).
+    pub background_completed: u64,
+    /// Highest interactive queue depth observed at admission.
+    pub peak_queued: u64,
+    /// Interactive requests whose handling panicked; the panic was
+    /// contained and the ticket completed with [`Answer::Internal`].
+    /// Nonzero values indicate bugs, not load.
+    pub contained_panics: u64,
+    /// Interactive sheds per tenant, sorted by tenant name.
+    pub shed_by_tenant: Vec<(String, u64)>,
+}
+
+/// Configures and spawns a [`FrontEnd`].
+#[derive(Debug)]
+pub struct FrontEndBuilder {
+    service: Arc<VoiceService>,
+    workers: usize,
+    queue_capacity: usize,
+    tenant_share: Option<usize>,
+    in_flight_cap: Option<usize>,
+    background_capacity: usize,
+    policy: OverloadPolicy,
+}
+
+impl FrontEndBuilder {
+    /// Start from the defaults: 2 serving workers, a 1024-deep ingress
+    /// queue with no per-tenant cap below it, a 64-deep background lane,
+    /// and the shed policy.
+    pub fn new(service: Arc<VoiceService>) -> FrontEndBuilder {
+        FrontEndBuilder {
+            service,
+            workers: 2,
+            queue_capacity: 1024,
+            tenant_share: None,
+            in_flight_cap: None,
+            background_capacity: 64,
+            policy: OverloadPolicy::Shed,
+        }
+    }
+
+    /// Serving worker threads (`0` = all available cores; clamped to at
+    /// least 1). Lookups are µs-scale, so a handful of workers saturate
+    /// a store — size this to cores, not to concurrent sessions.
+    pub fn workers(mut self, workers: usize) -> FrontEndBuilder {
+        self.workers = workers;
+        self
+    }
+
+    /// Maximum *queued* interactive requests across all tenants
+    /// (clamped to at least 1). The admission cap: request `capacity+1`
+    /// sheds (or blocks).
+    pub fn queue_capacity(mut self, capacity: usize) -> FrontEndBuilder {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Maximum queued requests any single tenant may hold (defaults to
+    /// the whole queue capacity). A tenant past its share is always
+    /// shed — even under [`OverloadPolicy::Block`] — so a hot tenant's
+    /// burst cannot consume the queue space other tenants admit into.
+    pub fn tenant_share(mut self, share: usize) -> FrontEndBuilder {
+        self.tenant_share = Some(share.max(1));
+        self
+    }
+
+    /// Maximum admitted-but-incomplete interactive requests (defaults
+    /// to unbounded: queued work is already bounded by
+    /// [`FrontEndBuilder::queue_capacity`], and executing work by the
+    /// workers' claim sizes, so the default adds no constraint).
+    pub fn in_flight_cap(mut self, cap: usize) -> FrontEndBuilder {
+        self.in_flight_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Maximum queued background jobs (registrations/refreshes/tasks;
+    /// clamped to at least 1).
+    pub fn background_capacity(mut self, capacity: usize) -> FrontEndBuilder {
+        self.background_capacity = capacity.max(1);
+        self
+    }
+
+    /// What to do when a global cap is hit (default:
+    /// [`OverloadPolicy::Shed`]).
+    pub fn policy(mut self, policy: OverloadPolicy) -> FrontEndBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Spawn the serving workers and build the front-end.
+    pub fn build(self) -> FrontEnd {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        } else {
+            self.workers
+        };
+        let shared = Arc::new(FrontShared {
+            ingress: Mutex::new(Ingress {
+                lanes: FxHashMap::default(),
+                rotation: VecDeque::new(),
+                interactive_queued: 0,
+                in_flight: 0,
+                background: VecDeque::new(),
+                interactive_streak: 0,
+                idle_workers: 0,
+                blocked_interactive: 0,
+                blocked_background: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            space_interactive: Condvar::new(),
+            space_background: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let service = Arc::clone(&self.service);
+                std::thread::Builder::new()
+                    .name(format!("vqs-serve-{index}"))
+                    .spawn(move || worker_loop(&shared, &service))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        FrontEnd {
+            service: self.service,
+            shared,
+            workers,
+            queue_capacity: self.queue_capacity,
+            tenant_share: self.tenant_share.unwrap_or(self.queue_capacity),
+            in_flight_cap: self.in_flight_cap.unwrap_or(usize::MAX),
+            background_capacity: self.background_capacity,
+            policy: self.policy,
+            handles,
+        }
+    }
+}
+
+/// The serving front-end; see the [module docs](crate::service::frontend)
+/// for the admission model. All submission methods take `&self` — share the front-end
+/// behind an [`Arc`] across any number of gateway threads.
+pub struct FrontEnd {
+    service: Arc<VoiceService>,
+    shared: Arc<FrontShared>,
+    workers: usize,
+    queue_capacity: usize,
+    tenant_share: usize,
+    in_flight_cap: usize,
+    background_capacity: usize,
+    policy: OverloadPolicy,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontEnd")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("tenant_share", &self.tenant_share)
+            .field("in_flight_cap", &self.in_flight_cap)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrontEnd {
+    /// Start configuring a front-end over `service`.
+    pub fn builder(service: Arc<VoiceService>) -> FrontEndBuilder {
+        FrontEndBuilder::new(service)
+    }
+
+    /// The service this front-end serves.
+    pub fn service(&self) -> &Arc<VoiceService> {
+        &self.service
+    }
+
+    /// Serving worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queued (interactive, background) requests right now — a racy
+    /// load gauge.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        let ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        (ingress.interactive_queued, ingress.background.len())
+    }
+
+    /// The response a shed request completes with, and the per-tenant
+    /// accounting of the rejection.
+    fn shed_response(&self, tenant: &str, start: Instant) -> ServiceResponse {
+        self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        {
+            // Leaf lock (never held while taking another). Allocate the
+            // map key only on a tenant's first shed — this path runs
+            // hottest exactly during overload bursts.
+            let mut shed_by_tenant = self
+                .shared
+                .counters
+                .shed_by_tenant
+                .lock()
+                .expect("shed map poisoned");
+            if let Some(count) = shed_by_tenant.get_mut(tenant) {
+                *count += 1;
+            } else if shed_by_tenant.len() < SHED_TENANT_CAP {
+                shed_by_tenant.insert(tenant.to_string(), 1);
+            } else {
+                *shed_by_tenant.entry("(other)".to_string()).or_insert(0) += 1;
+            }
+        }
+        let answer = Answer::Overloaded {
+            tenant: tenant.to_string(),
+        };
+        ServiceResponse {
+            tenant: tenant.to_string(),
+            request: None,
+            speaking_secs: speaking_time_secs(OVERLOADED),
+            session: None,
+            latency_micros: start.elapsed().as_micros() as u64,
+            answer,
+        }
+    }
+
+    /// Submit one interactive request. Never blocks under
+    /// [`OverloadPolicy::Shed`]: the returned ticket is either admitted
+    /// (completed by a serving worker) or already completed with
+    /// [`Answer::Overloaded`]. Under [`OverloadPolicy::Block`] the call
+    /// waits for queue space instead of shedding at the *global* caps;
+    /// tenant-share overflow sheds under both policies.
+    pub fn submit(&self, request: ServiceRequest) -> ResponseTicket {
+        self.submit_all(std::iter::once(request))
+            .pop()
+            .expect("one ticket per request")
+    }
+
+    /// [`FrontEnd::submit`] for a pipelined burst: admits the whole
+    /// chunk under one queue-lock acquisition (one ticket per request,
+    /// in order). Admission control is per request — a chunk can come
+    /// back partially admitted, partially shed. Gateways that aggregate
+    /// traffic should prefer this: it divides the queue synchronization
+    /// cost across the chunk.
+    pub fn submit_all(
+        &self,
+        requests: impl IntoIterator<Item = ServiceRequest>,
+    ) -> Vec<ResponseTicket> {
+        let start = Instant::now();
+        let mut tickets = Vec::new();
+        let mut admitted = 0usize;
+        let mut submitted = 0u64;
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        'requests: for request in requests {
+            submitted += 1;
+            loop {
+                // Fairness cap first — re-checked after every wake,
+                // since the tenant's lane may have filled while this
+                // submitter was parked at the global cap. A tenant past
+                // its share sheds regardless of headroom and policy.
+                let lane_depth = ingress
+                    .lanes
+                    .get(&request.tenant)
+                    .map_or(0, |lane| lane.queued);
+                if lane_depth >= self.tenant_share {
+                    tickets.push(Ticket::completed(
+                        self.shed_response(&request.tenant, start),
+                    ));
+                    continue 'requests;
+                }
+                // Global caps: admit, shed, or wait, per policy.
+                if ingress.interactive_queued < self.queue_capacity
+                    && ingress.in_flight < self.in_flight_cap
+                {
+                    break;
+                }
+                match self.policy {
+                    OverloadPolicy::Shed => {
+                        tickets.push(Ticket::completed(
+                            self.shed_response(&request.tenant, start),
+                        ));
+                        continue 'requests;
+                    }
+                    OverloadPolicy::Block => {
+                        self.shared.counters.blocked.fetch_add(1, Ordering::Relaxed);
+                        ingress.blocked_interactive += 1;
+                        ingress = self
+                            .shared
+                            .space_interactive
+                            .wait(ingress)
+                            .expect("ingress poisoned");
+                        ingress.blocked_interactive -= 1;
+                    }
+                }
+            }
+            let ticket = Ticket::pending();
+            let state = &mut *ingress;
+            // Fast path: the tenant's lane already exists (no key
+            // clone, and an emptied lane keeps its buffers).
+            let lane = match state.lanes.get_mut(&request.tenant) {
+                Some(lane) => lane,
+                None => state.lanes.entry(request.tenant.clone()).or_default(),
+            };
+            if lane.entries.is_empty() {
+                state.rotation.push_back(request.tenant.clone());
+            }
+            lane.queued += 1;
+            lane.entries.push_back(Queued::One(QueuedRespond {
+                request,
+                ticket: ticket.clone(),
+            }));
+            ingress.interactive_queued += 1;
+            ingress.in_flight += 1;
+            admitted += 1;
+            tickets.push(ticket);
+        }
+        if submitted > 0 {
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(submitted, Ordering::Relaxed);
+        }
+        if admitted > 0 {
+            self.shared
+                .counters
+                .peak_queued
+                .fetch_max(ingress.interactive_queued as u64, Ordering::Relaxed);
+            for _ in 0..ingress.idle_workers.min(admitted) {
+                self.shared.work_ready.notify_one();
+            }
+        }
+        tickets
+    }
+
+    /// Submit a whole chunk of requests as *one* queue entry completing
+    /// *one* ticket (one response per request, in order). This is the
+    /// saturation-throughput shape: the queue handoff, ticket, and
+    /// wakeup costs are paid once per chunk instead of once per
+    /// request. Admission is all-or-nothing — the chunk counts its full
+    /// length against every cap, and an overflowing chunk is shed (or
+    /// blocked) as a unit, completing with one [`Answer::Overloaded`]
+    /// response per request. A chunk larger than the queue capacity (or
+    /// in-flight cap) can never fit and is shed immediately under
+    /// *both* policies — blocking would deadlock the submitter. The
+    /// chunk is enqueued on the lane of its
+    /// first request's tenant, so tenant-homogeneous chunks (the shape
+    /// an aggregating gateway produces) keep fairness accounting exact.
+    pub fn submit_chunk(&self, requests: Vec<ServiceRequest>) -> ChunkTicket {
+        let start = Instant::now();
+        let len = requests.len();
+        if len == 0 {
+            return Ticket::completed(Vec::new());
+        }
+        let lane_tenant = &requests[0].tenant;
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(len as u64, Ordering::Relaxed);
+        let shed_chunk = |frontend: &FrontEnd| -> ChunkTicket {
+            Ticket::completed(
+                requests
+                    .iter()
+                    .map(|request| frontend.shed_response(&request.tenant, start))
+                    .collect(),
+            )
+        };
+        // A chunk that exceeds a cap outright can never be admitted:
+        // shed it under both policies instead of parking forever.
+        if len > self.queue_capacity || len > self.in_flight_cap || len > self.tenant_share {
+            return shed_chunk(self);
+        }
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        loop {
+            // Re-checked after every wake, like `submit_all`.
+            let lane_depth = ingress.lanes.get(lane_tenant).map_or(0, |lane| lane.queued);
+            if lane_depth + len > self.tenant_share {
+                drop(ingress);
+                return shed_chunk(self);
+            }
+            if ingress.interactive_queued + len <= self.queue_capacity
+                && ingress.in_flight + len <= self.in_flight_cap
+            {
+                break;
+            }
+            match self.policy {
+                OverloadPolicy::Shed => {
+                    drop(ingress);
+                    return shed_chunk(self);
+                }
+                OverloadPolicy::Block => {
+                    self.shared.counters.blocked.fetch_add(1, Ordering::Relaxed);
+                    ingress.blocked_interactive += 1;
+                    ingress = self
+                        .shared
+                        .space_interactive
+                        .wait(ingress)
+                        .expect("ingress poisoned");
+                    ingress.blocked_interactive -= 1;
+                }
+            }
+        }
+        let ticket: ChunkTicket = Ticket::pending();
+        let state = &mut *ingress;
+        let lane = match state.lanes.get_mut(lane_tenant) {
+            Some(lane) => lane,
+            None => state.lanes.entry(lane_tenant.clone()).or_default(),
+        };
+        if lane.entries.is_empty() {
+            state.rotation.push_back(lane_tenant.clone());
+        }
+        lane.queued += len;
+        lane.entries.push_back(Queued::Chunk {
+            requests,
+            ticket: ticket.clone(),
+        });
+        ingress.interactive_queued += len;
+        ingress.in_flight += len;
+        self.shared
+            .counters
+            .peak_queued
+            .fetch_max(ingress.interactive_queued as u64, Ordering::Relaxed);
+        if ingress.idle_workers > 0 {
+            self.shared.work_ready.notify_one();
+        }
+        ticket
+    }
+
+    /// Queue a background job on the control lane, applying the
+    /// background-capacity admission check.
+    fn submit_background(&self, job: BackgroundJob) -> std::result::Result<(), ()> {
+        let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+        while ingress.background.len() >= self.background_capacity {
+            match self.policy {
+                OverloadPolicy::Shed => return Err(()),
+                OverloadPolicy::Block => {
+                    self.shared.counters.blocked.fetch_add(1, Ordering::Relaxed);
+                    ingress.blocked_background += 1;
+                    ingress = self
+                        .shared
+                        .space_background
+                        .wait(ingress)
+                        .expect("ingress poisoned");
+                    ingress.blocked_background -= 1;
+                }
+            }
+        }
+        ingress.background.push_back(job);
+        self.shared
+            .counters
+            .background_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        if ingress.idle_workers > 0 {
+            self.shared.work_ready.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Register a tenant in the background (the control lane; its
+    /// solver batches additionally carry the bulk tag through the
+    /// shared pool). The ticket resolves to
+    /// [`VoiceService::register_dataset`]'s result, or
+    /// [`EngineError::Overloaded`] if the control lane was full under
+    /// the shed policy.
+    pub fn submit_register(&self, spec: TenantSpec) -> RegisterTicket {
+        let ticket: RegisterTicket = Ticket::pending();
+        let completion = ticket.clone();
+        let tenant = spec.name().to_string();
+        let job: BackgroundJob = Box::new(move |service| {
+            // Contain panics: the worker survives and the ticket still
+            // completes (with `EngineError::Internal`) instead of
+            // hanging its waiters.
+            let outcome = catch_unwind(AssertUnwindSafe(|| service.register_dataset(spec)));
+            completion.complete(outcome.unwrap_or_else(|payload| {
+                Err(EngineError::Internal {
+                    what: panic_text(payload),
+                })
+            }));
+        });
+        if self.submit_background(job).is_err() {
+            return Ticket::completed(Err(EngineError::Overloaded { tenant }));
+        }
+        ticket
+    }
+
+    /// Refresh a tenant in the background (the control lane; its solver
+    /// batches ride the pool's interactive fast lane so small deltas
+    /// are not stuck behind a bulk registration). The ticket resolves
+    /// to [`VoiceService::refresh_tenant`]'s result.
+    pub fn submit_refresh(
+        &self,
+        tenant: impl Into<String>,
+        dataset: GeneratedDataset,
+        changed_rows: Vec<usize>,
+    ) -> RefreshTicket {
+        let tenant = tenant.into();
+        let ticket: RefreshTicket = Ticket::pending();
+        let completion = ticket.clone();
+        let name = tenant.clone();
+        let job: BackgroundJob = Box::new(move |service| {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                service.refresh_tenant(&name, &dataset, &changed_rows)
+            }));
+            completion.complete(outcome.unwrap_or_else(|payload| {
+                Err(EngineError::Internal {
+                    what: panic_text(payload),
+                })
+            }));
+        });
+        if self.submit_background(job).is_err() {
+            return Ticket::completed(Err(EngineError::Overloaded { tenant }));
+        }
+        ticket
+    }
+
+    /// Run an arbitrary closure against the service on the control lane
+    /// (evictions, stats dumps, maintenance). Subject to the same
+    /// background admission control; the ticket completes after the
+    /// closure ran.
+    pub fn submit_task(
+        &self,
+        task: impl FnOnce(&VoiceService) + Send + 'static,
+    ) -> std::result::Result<TaskTicket, EngineError> {
+        let ticket: TaskTicket = Ticket::pending();
+        let completion = ticket.clone();
+        let job: BackgroundJob = Box::new(move |service| {
+            // A panicking task is contained (the worker survives) and
+            // its ticket still completes.
+            let _ = catch_unwind(AssertUnwindSafe(|| task(service)));
+            completion.complete(());
+        });
+        match self.submit_background(job) {
+            Ok(()) => Ok(ticket),
+            Err(()) => Err(EngineError::Overloaded {
+                tenant: String::new(),
+            }),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FrontEndStats {
+        let counters = &self.shared.counters;
+        let mut shed_by_tenant: Vec<(String, u64)> = counters
+            .shed_by_tenant
+            .lock()
+            .expect("shed map poisoned")
+            .iter()
+            .map(|(tenant, count)| (tenant.clone(), *count))
+            .collect();
+        shed_by_tenant.sort();
+        FrontEndStats {
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            completed: counters.completed.load(Ordering::Relaxed),
+            shed: counters.shed.load(Ordering::Relaxed),
+            blocked: counters.blocked.load(Ordering::Relaxed),
+            background_submitted: counters.background_submitted.load(Ordering::Relaxed),
+            background_completed: counters.background_completed.load(Ordering::Relaxed),
+            peak_queued: counters.peak_queued.load(Ordering::Relaxed),
+            contained_panics: counters.contained_panics.load(Ordering::Relaxed),
+            shed_by_tenant,
+        }
+    }
+
+    /// Stop admitting, drain every admitted request (all outstanding
+    /// tickets complete), and join the workers. Equivalent to dropping
+    /// the front-end, made explicit for call sites that want the drain
+    /// point visible.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for FrontEnd {
+    fn drop(&mut self) {
+        {
+            let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
+            ingress.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.space_interactive.notify_all();
+        self.shared.space_background.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One unit of claimed work.
+enum Work {
+    /// A round-robin batch of interactive entries carrying `requests`
+    /// requests in total.
+    Respond { batch: Vec<Queued>, requests: usize },
+    /// One background job.
+    Background(BackgroundJob),
+}
+
+/// Claim the next work item: a batch from the interactive lanes if any
+/// request is queued, else one background job.
+fn next_work(ingress: &mut Ingress) -> Option<Work> {
+    // Aging: after BACKGROUND_AGING consecutive interactive batches, one
+    // queued background job runs even under sustained interactive load,
+    // bounding registration/refresh staleness instead of starving it.
+    let background_due =
+        ingress.interactive_streak >= BACKGROUND_AGING && !ingress.background.is_empty();
+    if ingress.interactive_queued > 0 && !background_due {
+        // Leave a fair share for workers currently parked: claiming the
+        // whole queue while peers idle would serialize a burst through
+        // one thread. Whole entries are claimed, so chunks may overshoot.
+        let target = SERVE_BATCH
+            .min(
+                ingress
+                    .interactive_queued
+                    .div_ceil(ingress.idle_workers + 1),
+            )
+            .max(1);
+        let mut batch = Vec::new();
+        let mut requests = 0usize;
+        while requests < target {
+            let Some(tenant) = ingress.rotation.pop_front() else {
+                break;
+            };
+            let lane = ingress
+                .lanes
+                .get_mut(&tenant)
+                .expect("rotation entry without lane");
+            let entry = lane.entries.pop_front().expect("empty lane in rotation");
+            requests += entry.len();
+            lane.queued -= entry.len();
+            batch.push(entry);
+            // Emptied lanes stay in the map (their buffers are reused on
+            // the next submit) up to a bounded count; the rotation only
+            // lists non-empty lanes.
+            if !lane.entries.is_empty() {
+                ingress.rotation.push_back(tenant);
+            } else if ingress.lanes.len() > RETAINED_LANES {
+                ingress.lanes.remove(&tenant);
+            }
+        }
+        ingress.interactive_queued -= requests;
+        ingress.interactive_streak += 1;
+        return Some(Work::Respond { batch, requests });
+    }
+    let job = ingress.background.pop_front()?;
+    ingress.interactive_streak = 0;
+    Some(Work::Background(job))
+}
+
+/// Answer one request, resolving each distinct tenant once per batch
+/// via `resolved` (the registry read-lock and handle bump come off the
+/// per-request path; staleness is bounded by one batch — the same
+/// window a request already being served has).
+/// [`respond_cached`] with panic containment: a panic completes the
+/// request with [`Answer::Internal`] (counted in
+/// [`FrontEndStats::contained_panics`]) instead of killing the worker
+/// and hanging every waiter behind it.
+fn respond_contained(
+    service: &VoiceService,
+    resolved: &mut Vec<(String, Option<Arc<Tenant>>)>,
+    request: ServiceRequest,
+    shared: &FrontShared,
+) -> ServiceResponse {
+    let start = Instant::now();
+    catch_unwind(AssertUnwindSafe(|| {
+        respond_cached(service, resolved, request)
+    }))
+    .unwrap_or_else(|payload| {
+        shared
+            .counters
+            .contained_panics
+            .fetch_add(1, Ordering::Relaxed);
+        contained_panic_response(payload, start)
+    })
+}
+
+fn respond_cached(
+    service: &VoiceService,
+    resolved: &mut Vec<(String, Option<Arc<Tenant>>)>,
+    request: ServiceRequest,
+) -> ServiceResponse {
+    let start = Instant::now();
+    let tenant = match resolved.iter().find(|(name, _)| *name == request.tenant) {
+        Some((_, tenant)) => tenant.clone(),
+        None => {
+            let tenant = service.resolve_tenant(&request.tenant);
+            resolved.push((request.tenant.clone(), tenant.clone()));
+            tenant
+        }
+    };
+    match &tenant {
+        Some(tenant) => VoiceService::respond_owned(tenant, request, start),
+        None => VoiceService::unknown_tenant_response(&request.tenant, start),
+    }
+}
+
+/// Serving worker body: drain the ingress (interactive lanes first,
+/// round-robin across tenants), park when idle, exit once shut down
+/// with everything drained.
+fn worker_loop(shared: &FrontShared, service: &VoiceService) {
+    // Interactive requests completed since this worker last held the
+    // ingress lock; folded into the shared state on the next
+    // acquisition, so each served batch costs one lock round instead of
+    // two.
+    let mut finished = 0usize;
+    loop {
+        let work = {
+            let mut ingress = shared.ingress.lock().expect("ingress poisoned");
+            if finished > 0 {
+                ingress.in_flight -= finished;
+                // Wake one parked submitter per freed slot (not all —
+                // no thundering herd, but also no submitter left parked
+                // while capacity it could use sits free).
+                for _ in 0..finished.min(ingress.blocked_interactive) {
+                    shared.space_interactive.notify_one();
+                }
+                finished = 0;
+            }
+            loop {
+                if let Some(work) = next_work(&mut ingress) {
+                    break Some(work);
+                }
+                if ingress.shutdown {
+                    break None;
+                }
+                ingress.idle_workers += 1;
+                ingress = shared.work_ready.wait(ingress).expect("ingress poisoned");
+                ingress.idle_workers -= 1;
+            }
+        };
+        match work {
+            Some(Work::Respond { batch, requests }) => {
+                finished = requests;
+                let mut resolved: Vec<(String, Option<Arc<Tenant>>)> = Vec::new();
+                for entry in batch {
+                    // Count *before* completing: a waiter that saw its
+                    // ticket resolve must already see it in `completed`.
+                    match entry {
+                        Queued::One(queued) => {
+                            let response =
+                                respond_contained(service, &mut resolved, queued.request, shared);
+                            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                            queued.ticket.complete(response);
+                        }
+                        Queued::Chunk { requests, ticket } => {
+                            // Contained per request: one panicking
+                            // request must not discard its chunk-mates'
+                            // computed responses.
+                            let responses: Vec<ServiceResponse> = requests
+                                .into_iter()
+                                .map(|request| {
+                                    respond_contained(service, &mut resolved, request, shared)
+                                })
+                                .collect();
+                            shared
+                                .counters
+                                .completed
+                                .fetch_add(responses.len() as u64, Ordering::Relaxed);
+                            ticket.complete(responses);
+                        }
+                    }
+                }
+            }
+            Some(Work::Background(job)) => {
+                // Counted before the job completes its ticket, for the
+                // same observability ordering as interactive requests.
+                shared
+                    .counters
+                    .background_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                job(service);
+                let ingress = shared.ingress.lock().expect("ingress poisoned");
+                if ingress.blocked_background > 0 {
+                    shared.space_background.notify_one();
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::service::ServiceBuilder;
+    use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+
+    fn dataset(seed: u64) -> GeneratedDataset {
+        SynthSpec {
+            name: "fe".to_string(),
+            dims: vec![DimSpec::named("season", &["Winter", "Summer"])],
+            targets: vec![TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0))],
+            rows: 120,
+        }
+        .generate(seed, 1.0)
+    }
+
+    fn config() -> Configuration {
+        Configuration::new("fe", &["season"], &["delay"])
+    }
+
+    fn service_with_tenant() -> Arc<VoiceService> {
+        let service = Arc::new(ServiceBuilder::new().workers(1).build());
+        service
+            .register_dataset(TenantSpec::new("fe", dataset(3), config()))
+            .unwrap();
+        service
+    }
+
+    #[test]
+    fn chunk_round_trips_and_oversized_chunk_sheds_under_block() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service))
+            .workers(1)
+            .queue_capacity(4)
+            .policy(OverloadPolicy::Block)
+            .build();
+        // A fitting chunk is served normally.
+        let served = frontend
+            .submit_chunk(vec![
+                ServiceRequest::new("fe", "delay in Winter?"),
+                ServiceRequest::new("fe", "delay in Summer?"),
+            ])
+            .wait();
+        assert_eq!(served.len(), 2);
+        assert!(served.iter().all(|r| r.answer.is_speech()));
+        // A chunk larger than the queue capacity can never fit: it must
+        // shed immediately even under Block (blocking would deadlock).
+        let oversized: Vec<ServiceRequest> = (0..8)
+            .map(|_| ServiceRequest::new("fe", "delay in Winter?"))
+            .collect();
+        let responses = frontend.submit_chunk(oversized).wait();
+        assert_eq!(responses.len(), 8);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r.answer, Answer::Overloaded { .. })));
+        assert_eq!(frontend.stats().shed, 8);
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_the_worker_survives() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        let ticket = frontend
+            .submit_task(|_| panic!("injected task panic"))
+            .unwrap();
+        // The ticket still completes, and the (only) worker keeps
+        // serving afterwards.
+        ticket.wait();
+        let response = frontend
+            .submit(ServiceRequest::new("fe", "delay in Winter?"))
+            .wait();
+        assert!(response.answer.is_speech());
+    }
+
+    #[test]
+    fn panicking_registration_resolves_to_an_internal_error() {
+        use vqs_core::prelude::{Problem, Summarizer, Summary};
+        struct ExplodingSummarizer;
+        impl Summarizer for ExplodingSummarizer {
+            fn name(&self) -> &'static str {
+                "exploding"
+            }
+            fn summarize(&self, _: &Problem<'_>) -> vqs_core::prelude::Result<Summary> {
+                panic!("solver exploded");
+            }
+        }
+        let service = Arc::new(
+            ServiceBuilder::new()
+                .workers(1)
+                .summarizer(ExplodingSummarizer)
+                .build(),
+        );
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        let ticket = frontend.submit_register(TenantSpec::new("fe", dataset(3), config()));
+        match ticket.wait() {
+            Err(EngineError::Internal { what }) => assert!(what.contains("solver exploded")),
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+        // The worker survived; the (unregistered) tenant answers
+        // UnknownTenant through the queue.
+        let response = frontend.submit(ServiceRequest::new("fe", "delay?")).wait();
+        assert!(matches!(response.answer, Answer::UnknownTenant { .. }));
+    }
+
+    #[test]
+    fn submit_and_wait_round_trips() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(2).build();
+        let ticket = frontend.submit(ServiceRequest::new("fe", "delay in Winter?"));
+        let response = ticket.wait();
+        assert!(response.answer.is_speech());
+        assert!(ticket.is_ready());
+        // Waiting again (or from a clone) observes the same response.
+        assert_eq!(ticket.clone().wait().text(), response.text());
+        let stats = frontend.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn many_concurrent_submitters_complete() {
+        let service = service_with_tenant();
+        let frontend = Arc::new(
+            FrontEnd::builder(Arc::clone(&service))
+                .workers(2)
+                .queue_capacity(512)
+                .build(),
+        );
+        let total: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let frontend = Arc::clone(&frontend);
+                    scope.spawn(move || {
+                        let mut speeches = 0;
+                        for _ in 0..50 {
+                            let ticket =
+                                frontend.submit(ServiceRequest::new("fe", "delay in Summer?"));
+                            if ticket.wait().answer.is_speech() {
+                                speeches += 1;
+                            }
+                        }
+                        speeches
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .sum()
+        });
+        assert_eq!(total, 200);
+        let stats = frontend.stats();
+        assert_eq!(stats.submitted, 200);
+        assert_eq!(stats.completed, 200);
+    }
+
+    #[test]
+    fn background_register_and_refresh_resolve() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        let register = frontend.submit_register(TenantSpec::new("fe2", dataset(5), config()));
+        let report = register.wait().unwrap();
+        assert!(report.speeches > 0);
+        let respond = frontend.submit(ServiceRequest::new("fe2", "delay in Winter?"));
+        assert!(respond.wait().answer.is_speech());
+        let refresh = frontend.submit_refresh("fe2", dataset(5), vec![0, 1]);
+        assert_eq!(refresh.wait().unwrap().removed, 0);
+        let duplicate = frontend.submit_register(TenantSpec::new("fe2", dataset(5), config()));
+        assert!(matches!(
+            duplicate.wait(),
+            Err(EngineError::DuplicateTenant { .. })
+        ));
+        let stats = frontend.stats();
+        assert_eq!(stats.background_submitted, 3);
+        assert_eq!(stats.background_completed, 3);
+    }
+
+    #[test]
+    fn unknown_tenant_flows_through_the_queue() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(service).workers(1).build();
+        let ticket = frontend.submit(ServiceRequest::new("nope", "delay?"));
+        assert!(matches!(ticket.wait().answer, Answer::UnknownTenant { .. }));
+    }
+
+    #[test]
+    fn shutdown_drains_outstanding_tickets() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service))
+            .workers(1)
+            .queue_capacity(256)
+            .build();
+        let tickets: Vec<ResponseTicket> = (0..64)
+            .map(|_| frontend.submit(ServiceRequest::new("fe", "delay in Winter?")))
+            .collect();
+        frontend.shutdown();
+        for ticket in tickets {
+            assert!(ticket.is_ready(), "ticket lost across shutdown");
+            assert!(ticket.wait().answer.is_speech());
+        }
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_then_resolves() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        // A held gate task keeps the only worker busy. Wait until the
+        // worker actually entered it: an interactive request submitted
+        // earlier would (correctly) be served first.
+        let gate = Arc::new((Mutex::new(true), Condvar::new()));
+        let entered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let in_gate = {
+            let gate = Arc::clone(&gate);
+            let entered = Arc::clone(&entered);
+            frontend
+                .submit_task(move |_| {
+                    entered.store(true, Ordering::SeqCst);
+                    let (closed, released) = &*gate;
+                    let mut closed = closed.lock().unwrap();
+                    while *closed {
+                        closed = released.wait(closed).unwrap();
+                    }
+                })
+                .unwrap()
+        };
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let ticket = frontend.submit(ServiceRequest::new("fe", "delay in Winter?"));
+        assert!(ticket.wait_timeout(Duration::from_millis(20)).is_none());
+        let (closed, released) = &*gate;
+        *closed.lock().unwrap() = false;
+        released.notify_all();
+        assert!(ticket
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap()
+            .answer
+            .is_speech());
+        in_gate.wait();
+    }
+}

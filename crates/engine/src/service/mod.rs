@@ -33,9 +33,14 @@
 //! assert!(matches!(response.answer, Answer::Speech { .. }));
 //! ```
 
-mod pool;
+pub mod frontend;
+pub mod pool;
 
-pub use pool::SolverPool;
+pub use frontend::{
+    ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, OverloadPolicy, RefreshTicket,
+    RegisterTicket, ResponseTicket, TaskTicket, Ticket,
+};
+pub use pool::{ScatterPriority, SolverPool};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,6 +80,10 @@ pub(crate) const COMPARISON_APOLOGY: &str =
 pub(crate) const UNAVAILABLE: &str = "That data is not part of this deployment.";
 /// Spoken text of [`Answer::UnknownTenant`].
 pub(crate) const UNKNOWN_TENANT: &str = "I do not know that data set.";
+/// Spoken text of [`Answer::Overloaded`].
+pub(crate) const OVERLOADED: &str = "I am handling too many requests right now; please try again.";
+/// Spoken text of [`Answer::Internal`].
+pub(crate) const INTERNAL_ERROR: &str = "Something went wrong on my end; please try again.";
 
 /// One incoming voice request, addressed to a tenant by name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +149,22 @@ pub enum Answer {
         /// The unknown tenant name.
         tenant: String,
     },
+    /// The serving front-end shed this request before it reached a
+    /// tenant: the admission queue (or the tenant's fair share of it)
+    /// was full. Produced only by [`crate::service::FrontEnd`] — the
+    /// direct [`VoiceService::respond`] path never sheds.
+    Overloaded {
+        /// The tenant the rejected request addressed.
+        tenant: String,
+    },
+    /// A serving worker contained a panic while answering this request;
+    /// the ticket completed with this marker instead of hanging its
+    /// waiter. Produced only by [`crate::service::FrontEnd`]; indicates
+    /// a bug worth reporting, not load.
+    Internal {
+        /// The contained panic payload, when it was a string.
+        what: String,
+    },
 }
 
 impl Answer {
@@ -152,6 +177,8 @@ impl Answer {
             | Answer::Unsupported { text, .. } => text,
             Answer::NoSummary { .. } => NO_SUMMARY,
             Answer::UnknownTenant { .. } => UNKNOWN_TENANT,
+            Answer::Overloaded { .. } => OVERLOADED,
+            Answer::Internal { .. } => INTERNAL_ERROR,
         }
     }
 
@@ -173,6 +200,10 @@ pub struct ServiceResponse {
     pub request: Option<Request>,
     /// The typed answer.
     pub answer: Answer,
+    /// The stable id of the [`VoiceSession`] that answered, `None` for
+    /// stateless [`VoiceService::respond`] traffic — lets front-end and
+    /// log consumers attribute load to individual conversations.
+    pub session: Option<u64>,
     /// Classification + lookup latency in microseconds (time until the
     /// system can start speaking).
     pub latency_micros: u64,
@@ -335,15 +366,39 @@ impl TenantSpec {
 }
 
 /// Per-request counters of one tenant, updated with relaxed atomics on
-/// the respond path.
+/// the respond path. Shared (via [`std::sync::Arc`]) with every
+/// [`VoiceSession`] opened on the tenant, so session traffic shows up
+/// in the same per-tenant roll-up the front-end's fairness accounting
+/// reads.
 #[derive(Debug, Default)]
-struct RequestCounters {
+pub(crate) struct RequestCounters {
     requests: AtomicU64,
     speeches: AtomicU64,
     extensions: AtomicU64,
     helps: AtomicU64,
     unsupported: AtomicU64,
     misses: AtomicU64,
+    sessions: AtomicU64,
+}
+
+impl RequestCounters {
+    /// Account one answered request. `UnknownTenant`/`Overloaded` never
+    /// reach a tenant's counters (they are produced before a tenant
+    /// resolves), so they only bump the request total here.
+    pub(crate) fn record(&self, answer: &Answer) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let kind = match answer {
+            Answer::Speech { .. } => &self.speeches,
+            Answer::Extension { .. } => &self.extensions,
+            Answer::Help { .. } => &self.helps,
+            Answer::Unsupported { .. } => &self.unsupported,
+            Answer::NoSummary { .. } => &self.misses,
+            Answer::UnknownTenant { .. } | Answer::Overloaded { .. } | Answer::Internal { .. } => {
+                return
+            }
+        };
+        kind.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Pre-processing/refresh accounting of one tenant, merged across its
@@ -367,7 +422,7 @@ pub(crate) struct TenantRuntime {
 }
 
 /// One registered deployment.
-struct Tenant {
+pub(crate) struct Tenant {
     name: String,
     config: Configuration,
     help_text: String,
@@ -385,7 +440,7 @@ struct Tenant {
     /// dictionaries reach live sessions immediately.
     runtime: Arc<RwLock<TenantRuntime>>,
     rollup: Mutex<TenantRollup>,
-    counters: RequestCounters,
+    counters: Arc<RequestCounters>,
 }
 
 impl Tenant {
@@ -441,6 +496,8 @@ pub struct TenantStats {
     pub unsupported_answers: u64,
     /// Supported queries with no stored speech ([`Answer::NoSummary`]).
     pub miss_answers: u64,
+    /// Sessions opened on this tenant via [`VoiceService::session`].
+    pub sessions_opened: u64,
     /// Completed [`VoiceService::refresh_tenant`] runs.
     pub refreshes: u64,
     /// Speeches recomputed across all refreshes.
@@ -618,7 +675,7 @@ impl VoiceService {
             &spec.config,
             self.summarizer.as_ref(),
             &options,
-            Workers::Pool(&self.pool),
+            Workers::Pool(&self.pool, ScatterPriority::Bulk),
         )?;
         let runtime = Tenant::build_runtime(
             &spec.dataset,
@@ -653,7 +710,7 @@ impl VoiceService {
                 solver: report.instrumentation,
                 solver_time: report.solver_time,
             }),
-            counters: RequestCounters::default(),
+            counters: Arc::new(RequestCounters::default()),
         });
         let mut tenants = self.tenants.write();
         if tenants.contains_key(&spec.name) {
@@ -705,7 +762,7 @@ impl VoiceService {
             &options,
             &tenant.store,
             changed_rows,
-            Workers::Pool(&self.pool),
+            Workers::Pool(&self.pool, ScatterPriority::Interactive),
         )?;
         *tenant.runtime.write() = runtime;
         let mut rollup = tenant.rollup.lock();
@@ -752,6 +809,7 @@ impl VoiceService {
     pub fn session(&self, name: &str) -> Option<VoiceSession> {
         let tenant = self.tenant(name)?;
         let extractor = tenant.runtime.read().extractor.clone();
+        tenant.counters.sessions.fetch_add(1, Ordering::Relaxed);
         Some(
             VoiceSession::new(
                 Arc::clone(&tenant.store),
@@ -759,7 +817,8 @@ impl VoiceService {
                 tenant.help_text.clone(),
             )
             .with_tenant_label(&tenant.name)
-            .with_shared_runtime(Arc::clone(&tenant.runtime)),
+            .with_shared_runtime(Arc::clone(&tenant.runtime))
+            .with_counters(Arc::clone(&tenant.counters)),
         )
     }
 
@@ -769,42 +828,78 @@ impl VoiceService {
     /// (repeat handling) lives in [`VoiceService::session`].
     pub fn respond(&self, request: &ServiceRequest) -> ServiceResponse {
         let start = Instant::now();
-        let Some(tenant) = self.tenant(&request.tenant) else {
-            let answer = Answer::UnknownTenant {
-                tenant: request.tenant.clone(),
-            };
-            return ServiceResponse {
-                tenant: request.tenant.clone(),
-                request: None,
-                speaking_secs: speaking_time_secs(answer.text()),
-                latency_micros: start.elapsed().as_micros() as u64,
-                answer,
-            };
+        match self.tenant(&request.tenant) {
+            Some(tenant) => Self::respond_resolved(&tenant, request, start),
+            None => Self::unknown_tenant_response(&request.tenant, start),
+        }
+    }
+
+    /// The response for a request naming an unregistered tenant.
+    pub(crate) fn unknown_tenant_response(tenant: &str, start: Instant) -> ServiceResponse {
+        let answer = Answer::UnknownTenant {
+            tenant: tenant.to_string(),
         };
+        ServiceResponse {
+            tenant: tenant.to_string(),
+            request: None,
+            speaking_secs: speaking_time_secs(answer.text()),
+            session: None,
+            latency_micros: start.elapsed().as_micros() as u64,
+            answer,
+        }
+    }
+
+    /// Resolve a tenant handle for the serving front-end's batch loop
+    /// (one registry read per distinct tenant per batch instead of one
+    /// per request). `None` when the tenant is not registered.
+    pub(crate) fn resolve_tenant(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenant(name)
+    }
+
+    /// [`VoiceService::respond`] against an already-resolved tenant.
+    pub(crate) fn respond_resolved(
+        tenant: &Tenant,
+        request: &ServiceRequest,
+        start: Instant,
+    ) -> ServiceResponse {
+        Self::respond_parts(tenant, request.tenant.clone(), &request.text, start)
+    }
+
+    /// [`VoiceService::respond_resolved`] taking the request by value:
+    /// the tenant label is moved into the response instead of cloned
+    /// (the front-end's hot path — the label's allocation then travels
+    /// submitter → response and is freed where it was allocated).
+    pub(crate) fn respond_owned(
+        tenant: &Tenant,
+        request: ServiceRequest,
+        start: Instant,
+    ) -> ServiceResponse {
+        Self::respond_parts(tenant, request.tenant, &request.text, start)
+    }
+
+    /// Shared respond body; `label` becomes [`ServiceResponse::tenant`].
+    fn respond_parts(
+        tenant: &Tenant,
+        label: String,
+        text: &str,
+        start: Instant,
+    ) -> ServiceResponse {
         let runtime = tenant.runtime.read();
-        let classified = runtime.extractor.classify(&request.text);
+        let classified = runtime.extractor.classify(text);
         let answer = answer_request(
             &classified,
-            &request.text,
+            text,
             &tenant.store,
             &tenant.help_text,
             runtime.extensions.as_ref(),
         );
         drop(runtime);
-        tenant.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let kind_counter = match &answer {
-            Answer::Speech { .. } => &tenant.counters.speeches,
-            Answer::Extension { .. } => &tenant.counters.extensions,
-            Answer::Help { .. } => &tenant.counters.helps,
-            Answer::Unsupported { .. } => &tenant.counters.unsupported,
-            Answer::NoSummary { .. } => &tenant.counters.misses,
-            Answer::UnknownTenant { .. } => unreachable!("tenant resolved above"),
-        };
-        kind_counter.fetch_add(1, Ordering::Relaxed);
+        tenant.counters.record(&answer);
         ServiceResponse {
-            tenant: tenant.name.clone(),
+            tenant: label,
             request: Some(classified),
             speaking_secs: speaking_time_secs(answer.text()),
+            session: None,
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
         }
@@ -835,6 +930,7 @@ impl VoiceService {
                     help_answers: tenant.counters.helps.load(Ordering::Relaxed),
                     unsupported_answers: tenant.counters.unsupported.load(Ordering::Relaxed),
                     miss_answers: tenant.counters.misses.load(Ordering::Relaxed),
+                    sessions_opened: tenant.counters.sessions.load(Ordering::Relaxed),
                     refreshes: rollup.refreshes,
                     recomputed: rollup.recomputed,
                     removed: rollup.removed,
@@ -1055,6 +1151,35 @@ mod tests {
         assert_eq!(stats.total_speeches(), 18);
         assert_eq!(stats.store_totals().lookups, 3);
         assert!(stats.solver_totals().gain_passes > 0);
+    }
+
+    #[test]
+    fn session_traffic_rolls_up_into_tenant_counters() {
+        let service = service();
+        service
+            .register_dataset(TenantSpec::new("svc", dataset(7), config()))
+            .unwrap();
+        let mut session = service.session("svc").unwrap();
+        let mut second = service.session("svc").unwrap();
+        assert_ne!(session.id(), second.id(), "session ids are unique");
+
+        let speech = session.answer("delay in Winter?");
+        assert_eq!(speech.session, Some(session.id()));
+        assert!(speech.answer.is_speech());
+        session.answer("help");
+        second.answer("delay in Summer?");
+        // Stateless traffic and session traffic meet in one roll-up.
+        service.respond(&ServiceRequest::new("svc", "delay in Winter?"));
+
+        let stats = service.stats();
+        let tenant = &stats.tenants[0];
+        assert_eq!(tenant.sessions_opened, 2);
+        assert_eq!(tenant.requests, 4);
+        assert_eq!(tenant.speech_answers, 3);
+        assert_eq!(tenant.help_answers, 1);
+        // The stateless respond path stamps no session id.
+        let direct = service.respond(&ServiceRequest::new("svc", "delay in Winter?"));
+        assert_eq!(direct.session, None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! store, so they can be stored next to (and outlive) the service or
 //! store that spawned them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +16,13 @@ use parking_lot::RwLock;
 
 use crate::extensions::ExtremumIndex;
 use crate::nlq::{Extractor, Request};
-use crate::service::{answer_request, Answer, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT};
+use crate::service::{
+    answer_request, Answer, RequestCounters, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT,
+};
+
+/// Monotonic source of session ids — process-wide, so ids stay unique
+/// (and stable for the session's lifetime) across services and tenants.
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
 use crate::store::SpeechStore;
 use crate::template::speaking_time_secs;
 
@@ -38,9 +45,12 @@ pub struct VoiceResponse {
     pub speaking_secs: f64,
 }
 
-/// A stateful voice session over one deployment.
+/// A stateful voice session over one deployment. Each session carries a
+/// process-unique stable [`VoiceSession::id`], stamped into every
+/// response it answers.
 #[derive(Debug)]
 pub struct VoiceSession {
+    id: u64,
     tenant: String,
     store: Arc<SpeechStore>,
     extractor: Extractor,
@@ -51,6 +61,11 @@ pub struct VoiceSession {
     /// tenant's live extractor/extension state: refreshes reach open
     /// sessions instead of leaving them on snapshotted dictionaries.
     shared: Option<Arc<RwLock<TenantRuntime>>>,
+    /// When opened via [`crate::service::VoiceService::session`], the
+    /// tenant's request counters: session traffic rolls up into the
+    /// same per-tenant accounting as stateless respond traffic, so
+    /// fairness/stats consumers see conversation load too.
+    counters: Option<Arc<RequestCounters>>,
 }
 
 impl VoiceSession {
@@ -63,6 +78,7 @@ impl VoiceSession {
         help_text: impl Into<String>,
     ) -> Self {
         VoiceSession {
+            id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
             tenant: String::new(),
             store,
             extractor,
@@ -70,7 +86,14 @@ impl VoiceSession {
             last: None,
             extensions: None,
             shared: None,
+            counters: None,
         }
+    }
+
+    /// The stable, process-unique id of this session (stamped into
+    /// every [`ServiceResponse::session`] it produces).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Follow a tenant's live runtime instead of the construction-time
@@ -78,6 +101,13 @@ impl VoiceSession {
     /// [`crate::service::VoiceService::session`]).
     pub(crate) fn with_shared_runtime(mut self, runtime: Arc<RwLock<TenantRuntime>>) -> Self {
         self.shared = Some(runtime);
+        self
+    }
+
+    /// Roll this session's answered requests into the tenant's request
+    /// counters (wired by [`crate::service::VoiceService::session`]).
+    pub(crate) fn with_counters(mut self, counters: Arc<RequestCounters>) -> Self {
+        self.counters = Some(counters);
         self
     }
 
@@ -127,10 +157,14 @@ impl VoiceSession {
             }
         };
         drop(shared);
+        if let Some(counters) = &self.counters {
+            counters.record(&answer);
+        }
         ServiceResponse {
             tenant: self.tenant.clone(),
             request: Some(request),
             speaking_secs: speaking_time_secs(answer.text()),
+            session: Some(self.id),
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
         }

@@ -1,0 +1,413 @@
+//! Serving front-end behavior under load: deterministic shedding at the
+//! admission cap, per-tenant fairness under a hot-tenant flood, the
+//! interactive priority lane, the block policy, and graceful shutdown.
+//!
+//! The deterministic tests block the front-end's serving workers on
+//! *gates* (a background task, or a summarizer that parks solver jobs)
+//! so queue states are exact, not timing-dependent.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use vqs_core::prelude::{GreedySummarizer, Problem, Summarizer, Summary};
+use vqs_data::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+
+const LONG_WAIT: Duration = Duration::from_secs(60);
+
+fn dataset(name: &str, seed: u64) -> GeneratedDataset {
+    SynthSpec {
+        name: name.to_string(),
+        dims: vec![
+            DimSpec::named("season", &["Winter", "Summer"]),
+            DimSpec::named("region", &["East", "West"]),
+        ],
+        targets: vec![TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0))],
+        rows: 160,
+    }
+    .generate(seed, 1.0)
+}
+
+fn config(name: &str) -> Configuration {
+    Configuration::new(name, &["season", "region"], &["delay"])
+}
+
+/// A close/open gate; the serving worker parks inside whatever closure
+/// waits on it, giving tests exact control over queue states.
+struct TestGate {
+    closed: Mutex<bool>,
+    released: Condvar,
+    entered: AtomicUsize,
+}
+
+impl TestGate {
+    fn new() -> Arc<TestGate> {
+        Arc::new(TestGate {
+            closed: Mutex::new(true),
+            released: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        })
+    }
+
+    /// Block until the gate opens (counting the entry).
+    fn pass(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut closed = self.closed.lock().unwrap();
+        while *closed {
+            closed = self.released.wait(closed).unwrap();
+        }
+    }
+
+    /// Open the gate, releasing every parked passer.
+    fn open(&self) {
+        *self.closed.lock().unwrap() = false;
+        self.released.notify_all();
+    }
+
+    /// Spin until `n` passers are parked inside.
+    fn await_entered(&self, n: usize) {
+        while self.entered.load(Ordering::SeqCst) < n {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Park the front-end's (only) worker on a gate via the control lane.
+fn block_worker(frontend: &FrontEnd, gate: &Arc<TestGate>) -> TaskTicket {
+    let passer = Arc::clone(gate);
+    let ticket = frontend
+        .submit_task(move |_| passer.pass())
+        .expect("gate task admitted");
+    gate.await_entered(1);
+    ticket
+}
+
+#[test]
+fn overload_sheds_deterministically_at_the_cap() {
+    let service = Arc::new(ServiceBuilder::new().workers(1).build());
+    service
+        .register_dataset(TenantSpec::new("svc", dataset("svc", 7), config("svc")))
+        .unwrap();
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(1)
+        .queue_capacity(3)
+        .build();
+    let gate = TestGate::new();
+    let gate_ticket = block_worker(&frontend, &gate);
+
+    // Exactly `queue_capacity` requests are admitted...
+    let admitted: Vec<ResponseTicket> = (0..3)
+        .map(|_| frontend.submit(ServiceRequest::new("svc", "delay in Winter?")))
+        .collect();
+    for ticket in &admitted {
+        assert!(!ticket.is_ready(), "admitted request served while gated");
+    }
+    // ...and request capacity+1 is shed immediately, with the explicit
+    // typed overload answer.
+    let shed = frontend.submit(ServiceRequest::new("svc", "delay in Winter?"));
+    assert!(shed.is_ready(), "shed ticket must complete immediately");
+    let response = shed.wait();
+    assert!(matches!(
+        response.answer,
+        Answer::Overloaded { ref tenant } if tenant == "svc"
+    ));
+    assert!(response.text().contains("too many requests"));
+
+    let stats = frontend.stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.peak_queued, 3);
+    assert_eq!(stats.shed_by_tenant, vec![("svc".to_string(), 1)]);
+
+    // Opening the gate drains the admitted requests — none were lost.
+    gate.open();
+    gate_ticket.wait();
+    for ticket in admitted {
+        assert!(ticket.wait_timeout(LONG_WAIT).unwrap().answer.is_speech());
+    }
+    assert_eq!(frontend.stats().completed, 3);
+}
+
+#[test]
+fn hot_tenant_flood_cannot_starve_other_tenants() {
+    let service = Arc::new(ServiceBuilder::new().workers(1).build());
+    for name in ["hot", "cold"] {
+        service
+            .register_dataset(TenantSpec::new(name, dataset(name, 11), config(name)))
+            .unwrap();
+    }
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(1)
+        .queue_capacity(16)
+        .tenant_share(2)
+        .build();
+    let gate = TestGate::new();
+    let gate_ticket = block_worker(&frontend, &gate);
+
+    // The hot tenant floods: only its fair share is admitted, the rest
+    // is shed even though the global queue has plenty of headroom.
+    let hot: Vec<ResponseTicket> = (0..6)
+        .map(|_| frontend.submit(ServiceRequest::new("hot", "delay in Winter?")))
+        .collect();
+    let hot_shed = hot.iter().filter(|t| t.is_ready()).count();
+    assert_eq!(hot_shed, 4, "flood past the tenant share sheds");
+
+    // The cold tenant still gets in behind the flood.
+    let cold: Vec<ResponseTicket> = (0..2)
+        .map(|_| frontend.submit(ServiceRequest::new("cold", "delay in Summer?")))
+        .collect();
+    assert!(
+        cold.iter().all(|t| !t.is_ready()),
+        "cold tenant must be admitted despite the hot flood"
+    );
+
+    gate.open();
+    gate_ticket.wait();
+    for ticket in &cold {
+        assert!(ticket.wait_timeout(LONG_WAIT).unwrap().answer.is_speech());
+    }
+    let mut answers = 0;
+    for ticket in &hot {
+        let response = ticket.wait_timeout(LONG_WAIT).unwrap();
+        if response.answer.is_speech() {
+            answers += 1;
+        } else {
+            assert!(matches!(response.answer, Answer::Overloaded { .. }));
+        }
+    }
+    assert_eq!(answers, 2, "the admitted share of the flood is served");
+    let stats = frontend.stats();
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.shed_by_tenant, vec![("hot".to_string(), 4)]);
+}
+
+/// A summarizer whose solves park on a gate while it is closed — makes
+/// "a large registration is running right now" an exact, held state
+/// instead of a race.
+struct GatedSummarizer {
+    inner: GreedySummarizer,
+    gate: Arc<TestGate>,
+}
+
+impl Summarizer for GatedSummarizer {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+
+    fn summarize(&self, problem: &Problem<'_>) -> vqs_core::prelude::Result<Summary> {
+        if *self.gate.closed.lock().unwrap() {
+            self.gate.pass();
+        }
+        self.inner.summarize(problem)
+    }
+}
+
+#[test]
+fn a_held_registration_cannot_delay_concurrent_responds() {
+    let gate = TestGate::new();
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .workers(1)
+            .summarizer(GatedSummarizer {
+                inner: GreedySummarizer::with_optimized_pruning(),
+                gate: Arc::clone(&gate),
+            })
+            .build(),
+    );
+    // Setup registration passes through the open gate.
+    gate.open();
+    service
+        .register_dataset(TenantSpec::new("live", dataset("live", 3), config("live")))
+        .unwrap();
+
+    // Re-close the gate: the background registration submitted next
+    // parks one serving worker inside the solver.
+    *gate.closed.lock().unwrap() = true;
+    let before = gate.entered.load(Ordering::SeqCst);
+    let frontend = FrontEnd::builder(Arc::clone(&service)).workers(2).build();
+    let register =
+        frontend.submit_register(TenantSpec::new("bulk", dataset("bulk", 5), config("bulk")));
+    gate.await_entered(before + 1);
+
+    // While the registration is provably still held, interactive
+    // traffic flows through the second worker.
+    for _ in 0..5 {
+        let ticket = frontend.submit(ServiceRequest::new("live", "delay in Winter?"));
+        let response = ticket.wait_timeout(LONG_WAIT).expect("respond served");
+        assert!(response.answer.is_speech());
+    }
+    assert!(
+        !register.is_ready(),
+        "the registration is still gated, yet responds completed"
+    );
+
+    gate.open();
+    let report = register.wait_timeout(LONG_WAIT).unwrap().unwrap();
+    assert!(report.speeches > 0);
+    assert!(frontend
+        .submit(ServiceRequest::new("bulk", "delay in Winter?"))
+        .wait()
+        .answer
+        .is_speech());
+}
+
+#[test]
+fn interactive_lane_drains_before_queued_background_work() {
+    let service = Arc::new(ServiceBuilder::new().workers(1).build());
+    service
+        .register_dataset(TenantSpec::new("svc", dataset("svc", 7), config("svc")))
+        .unwrap();
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(1)
+        .queue_capacity(16)
+        .build();
+    let gate = TestGate::new();
+    let gate_ticket = block_worker(&frontend, &gate);
+
+    // Queue background work FIRST, then a probe task, then interactive
+    // requests. The single worker drains FIFO within the control lane
+    // (refresh, then probe), so when the probe runs, the refresh is
+    // done; the probe records whether the *later-submitted* interactive
+    // requests were already served before the control lane resumed —
+    // exactly the priority-lane guarantee. Under FIFO-without-priority
+    // the probe would run before any interactive request.
+    let refresh = frontend.submit_refresh("svc", dataset("svc", 7), vec![0, 1, 2]);
+    let responds: Arc<Mutex<Vec<ResponseTicket>>> = Arc::new(Mutex::new(Vec::new()));
+    let responds_served_first = Arc::new(AtomicBool::new(false));
+    let probe = {
+        let responds = Arc::clone(&responds);
+        let flag = Arc::clone(&responds_served_first);
+        frontend
+            .submit_task(move |_| {
+                let responds = responds.lock().unwrap();
+                let all_served = !responds.is_empty() && responds.iter().all(Ticket::is_ready);
+                flag.store(all_served, Ordering::SeqCst);
+            })
+            .unwrap()
+    };
+    {
+        let mut queue = responds.lock().unwrap();
+        for _ in 0..4 {
+            queue.push(frontend.submit(ServiceRequest::new("svc", "delay in Winter?")));
+        }
+    }
+    assert_eq!(frontend.queue_depths(), (4, 2));
+
+    gate.open();
+    gate_ticket.wait();
+    probe.wait_timeout(LONG_WAIT).unwrap();
+    assert!(
+        responds_served_first.load(Ordering::SeqCst),
+        "interactive requests must be served before queued background work"
+    );
+    assert!(refresh.wait().is_ok());
+}
+
+#[test]
+fn block_policy_parks_submitters_instead_of_shedding() {
+    let service = Arc::new(ServiceBuilder::new().workers(1).build());
+    service
+        .register_dataset(TenantSpec::new("svc", dataset("svc", 7), config("svc")))
+        .unwrap();
+    let frontend = Arc::new(
+        FrontEnd::builder(Arc::clone(&service))
+            .workers(1)
+            .queue_capacity(1)
+            // Keep the per-tenant share above the global cap: this test
+            // must hit the *global* bound, which blocks (the fairness
+            // bound always sheds).
+            .tenant_share(8)
+            .policy(OverloadPolicy::Block)
+            .build(),
+    );
+    let gate = TestGate::new();
+    let gate_ticket = block_worker(&frontend, &gate);
+
+    let first = frontend.submit(ServiceRequest::new("svc", "delay in Winter?"));
+    // The queue is now full; a second submitter blocks instead of
+    // shedding. Wait for the front-end to report it parked.
+    let submitter = {
+        let frontend = Arc::clone(&frontend);
+        std::thread::spawn(move || {
+            frontend
+                .submit(ServiceRequest::new("svc", "delay in Summer?"))
+                .wait()
+        })
+    };
+    while frontend.stats().blocked == 0 {
+        std::thread::yield_now();
+    }
+    assert!(!first.is_ready());
+
+    gate.open();
+    gate_ticket.wait();
+    let second = submitter.join().unwrap();
+    assert!(second.answer.is_speech());
+    assert!(first.wait_timeout(LONG_WAIT).unwrap().answer.is_speech());
+    let stats = frontend.stats();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.completed, 2);
+    assert!(stats.blocked >= 1);
+}
+
+#[test]
+fn shutdown_drains_all_admitted_work_and_joins_clean() {
+    let service = Arc::new(ServiceBuilder::new().workers(1).build());
+    service
+        .register_dataset(TenantSpec::new("svc", dataset("svc", 7), config("svc")))
+        .unwrap();
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(2)
+        .queue_capacity(256)
+        .build();
+
+    let responds: Vec<ResponseTicket> = (0..40)
+        .map(|_| frontend.submit(ServiceRequest::new("svc", "delay in Winter?")))
+        .collect();
+    let refresh = frontend.submit_refresh("svc", dataset("svc", 7), vec![0]);
+    let register =
+        frontend.submit_register(TenantSpec::new("late", dataset("late", 9), config("late")));
+    // Shutdown returns only after every admitted request completed and
+    // the workers joined.
+    frontend.shutdown();
+
+    for ticket in responds {
+        assert!(ticket.is_ready(), "interactive ticket lost in shutdown");
+        assert!(ticket.wait().answer.is_speech());
+    }
+    assert!(refresh.is_ready(), "refresh ticket lost in shutdown");
+    assert!(refresh.wait().is_ok());
+    assert!(register.is_ready(), "register ticket lost in shutdown");
+    assert!(register.wait().is_ok());
+    // The service itself outlives the front-end.
+    assert!(service
+        .respond(&ServiceRequest::new("late", "delay in Winter?"))
+        .answer
+        .is_speech());
+}
+
+#[test]
+fn frontend_and_sessions_share_tenant_accounting() {
+    let service = Arc::new(ServiceBuilder::new().workers(1).build());
+    service
+        .register_dataset(TenantSpec::new("svc", dataset("svc", 7), config("svc")))
+        .unwrap();
+    let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+
+    // Conversation traffic (sessions, counted per tenant) and queued
+    // stateless traffic land in the same tenant roll-up.
+    let mut session = service.session("svc").unwrap();
+    let spoken = session.answer("delay in Winter?");
+    assert_eq!(spoken.session, Some(session.id()));
+    let queued = frontend
+        .submit(ServiceRequest::new("svc", "delay in Summer?"))
+        .wait();
+    assert_eq!(queued.session, None);
+
+    let stats = service.stats();
+    let tenant = &stats.tenants[0];
+    assert_eq!(tenant.sessions_opened, 1);
+    assert_eq!(tenant.requests, 2);
+    assert_eq!(tenant.speech_answers, 2);
+}
