@@ -1,0 +1,221 @@
+//! Pipeline trajectory recorder: stands up one tenant behind the
+//! staged NL pipeline and measures the three answer tiers separately —
+//! summary-store hit latency, live relational-plan latency, and the
+//! classification accuracy of the analyzer over a pinned utterance
+//! corpus. Emits `BENCH_pipeline.json` next to the other committed
+//! baselines. CI runs it as a smoke step (the output must be valid
+//! JSON; no thresholds are enforced).
+//!
+//! Usage: `bench_pipeline [--out PATH] [--requests N] [--rows N]`
+
+use std::time::Instant;
+
+use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+
+const SEASONS: [&str; 4] = ["Winter", "Spring", "Summer", "Fall"];
+const REGIONS: [&str; 3] = ["East", "West", "North"];
+
+/// The pinned classification corpus: utterance plus the Table III label
+/// the analyzer must assign. Accuracy over this list is the recorded
+/// metric; a regression here means the staged analyzer drifted from the
+/// legacy classifier's decision order.
+const CORPUS: [(&str, &str); 14] = [
+    ("help", "Help"),
+    ("what can you do", "Help"),
+    ("repeat that", "Repeat"),
+    ("say that again", "Repeat"),
+    ("delay in Winter", "S-Query"),
+    ("cancelled in the East", "S-Query"),
+    ("delay in Summer in the West", "S-Query"),
+    ("which season has the most delay", "U-Query"),
+    ("which region has the lowest cancelled", "U-Query"),
+    ("compare delay for Winter versus Summer", "U-Query"),
+    ("how many delays in Winter", "U-Query"),
+    ("the total cancelled in the East", "U-Query"),
+    ("delay of flight UA one twenty three", "U-Query"),
+    ("tell me a joke", "Other"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut requests = 2_000usize;
+    let mut rows = 240usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--requests" => requests = value("--requests").parse().expect("numeric count"),
+            "--rows" => rows = value("--rows").parse().expect("numeric count"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let dataset = SynthSpec {
+        name: "air".to_string(),
+        dims: vec![
+            DimSpec::named("season", &SEASONS),
+            DimSpec::named("region", &REGIONS),
+        ],
+        targets: vec![
+            TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0)),
+            TargetSpec::new("cancelled", 30.0, 10.0, 4.0, (0.0, 1000.0)),
+        ],
+        rows,
+    }
+    .generate(0xA1, 1.0);
+
+    let service = ServiceBuilder::new().workers(2).build();
+    let report = service
+        .register_dataset(
+            TenantSpec::new(
+                "air",
+                dataset,
+                Configuration::new("air", &["season", "region"], &["delay", "cancelled"]),
+            )
+            .target_synonyms("delay", &["delays"])
+            .unavailable_markers(&["flight"]),
+        )
+        .expect("registration succeeds");
+
+    // Tier-1 pool: every single-predicate question is a store hit.
+    let mut store_pool: Vec<String> = Vec::new();
+    for target in ["delay", "cancelled"] {
+        for season in SEASONS {
+            store_pool.push(format!("{target} in {season}?"));
+        }
+        for region in REGIONS {
+            store_pool.push(format!("{target} in the {region}?"));
+        }
+    }
+    let (store_hits, store_secs) = drive(&service, &store_pool, requests, |a| a.is_speech());
+    assert!(
+        store_hits == requests,
+        "{store_hits}/{requests} store-tier questions answered with a speech"
+    );
+
+    // Tier-2 pool: extrema, comparisons, and aggregates miss the store
+    // and execute a relational plan against the live table.
+    let mut live_pool: Vec<String> = Vec::new();
+    for target in ["delay", "cancelled"] {
+        for dim in ["season", "region"] {
+            live_pool.push(format!("which {dim} has the most {target}"));
+            live_pool.push(format!("which {dim} has the lowest {target}"));
+        }
+        for pair in SEASONS.windows(2) {
+            live_pool.push(format!(
+                "compare {target} for {} versus {}",
+                pair[0], pair[1]
+            ));
+        }
+        for season in SEASONS {
+            live_pool.push(format!("how many {target} in {season}"));
+            live_pool.push(format!("the total {target} in {season}"));
+        }
+    }
+    let (computed, live_secs) = drive(&service, &live_pool, requests, |a| {
+        matches!(a, Answer::Computed { .. })
+    });
+    assert!(
+        computed == requests,
+        "{computed}/{requests} live-tier questions answered with a computed plan"
+    );
+
+    // Classification accuracy over the pinned corpus.
+    let correct = CORPUS
+        .iter()
+        .filter(|(text, expected)| {
+            service.respond(&ServiceRequest::new("air", *text)).label() == *expected
+        })
+        .count();
+
+    let json = render_json(
+        rows,
+        report.speeches,
+        requests,
+        store_secs * 1e3,
+        requests as f64 / store_secs.max(1e-9),
+        live_secs * 1e3,
+        requests as f64 / live_secs.max(1e-9),
+        correct,
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Round-robin `requests` utterances from `pool` through the service,
+/// returning how many answers satisfied `accept` and the wall seconds.
+fn drive(
+    service: &VoiceService,
+    pool: &[String],
+    requests: usize,
+    accept: impl Fn(&Answer) -> bool,
+) -> (usize, f64) {
+    let start = Instant::now();
+    let mut accepted = 0usize;
+    for round in 0..requests {
+        let text = &pool[round % pool.len()];
+        let response = service.respond(&ServiceRequest::new("air", text));
+        if accept(&response.answer) {
+            accepted += 1;
+        }
+    }
+    (accepted, start.elapsed().as_secs_f64())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    rows: usize,
+    speeches: usize,
+    requests: usize,
+    store_ms: f64,
+    store_per_sec: f64,
+    live_ms: f64,
+    live_per_sec: f64,
+    correct: usize,
+) -> String {
+    let mut lines = Vec::new();
+    lines.push("{".to_string());
+    lines.push("  \"schema\": \"vqs-bench-pipeline/v1\",".to_string());
+    lines.push(format!("  \"rows\": {rows},"));
+    lines.push(format!("  \"speeches\": {speeches},"));
+    lines.push("  \"store_hit\": {".to_string());
+    lines.push(format!("    \"requests\": {requests},"));
+    lines.push(format!("    \"wall_ms\": {store_ms:.3},"));
+    lines.push(format!("    \"requests_per_sec\": {store_per_sec:.0}"));
+    lines.push("  },".to_string());
+    lines.push("  \"live_plan\": {".to_string());
+    lines.push(format!("    \"requests\": {requests},"));
+    lines.push(format!("    \"wall_ms\": {live_ms:.3},"));
+    lines.push(format!("    \"requests_per_sec\": {live_per_sec:.0}"));
+    lines.push("  },".to_string());
+    lines.push("  \"classification\": {".to_string());
+    lines.push(format!("    \"utterances\": {},", CORPUS.len()));
+    lines.push(format!("    \"correct\": {correct},"));
+    lines.push(format!(
+        "    \"accuracy\": {:.3}",
+        correct as f64 / CORPUS.len() as f64
+    ));
+    lines.push("  }".to_string());
+    lines.push("}".to_string());
+    let mut json = lines.join("\n");
+    json.push('\n');
+    json
+}

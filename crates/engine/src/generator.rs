@@ -14,7 +14,8 @@
 //! index before they touch the store, which makes the output (and the
 //! merged [`Instrumentation`] totals) independent of the worker count.
 //!
-//! [`refresh`] is the delta path for streaming updates: it recomputes
+//! `refresh_with` (driving [`crate::service::VoiceService::refresh_tenant`])
+//! is the delta path for streaming updates: it recomputes
 //! only the queries whose data subset changed, keeps every other stored
 //! speech pointer-stable, and drops queries whose value combination
 //! disappeared from the data.
@@ -35,14 +36,16 @@ use crate::template::SpeechTemplate;
 
 /// How a batch of solver jobs is executed.
 ///
-/// The legacy free functions spawn a scoped thread pool per call
-/// ([`Workers::Scoped`]); the [`crate::service::VoiceService`] facade
-/// reuses one long-lived [`SolverPool`] across all tenants
-/// ([`Workers::Pool`]). Both run the identical work-stealing loop, so the
-/// produced stores are byte-identical.
+/// The [`crate::service::VoiceService`] facade reuses one long-lived
+/// [`SolverPool`] across all tenants ([`Workers::Pool`]); the in-crate
+/// test harness spawns a scoped thread pool per call
+/// ([`Workers::Scoped`]). Both run the identical work-stealing loop, so
+/// the produced stores are byte-identical regardless of executor.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Workers<'p> {
-    /// Spawn `n` scoped threads for this call only.
+    /// Spawn `n` scoped threads for this call only (test harness;
+    /// production paths share the service pool).
+    #[cfg_attr(not(test), allow(dead_code))]
     Scoped(usize),
     /// Run on the shared long-lived pool, queued on the given lane
     /// (registrations ride [`ScatterPriority::Bulk`], delta refreshes
@@ -415,35 +418,9 @@ fn run_jobs<S: Summarizer + Sync + ?Sized>(
     ))
 }
 
-/// Run the full pre-processing batch: every target, every query, over one
-/// work-stealing pool. Returns the populated speech store and a report.
-///
-/// This is the legacy single-deployment entry point. New code should
-/// register the dataset with a [`crate::service::VoiceService`], which
-/// owns the store, reuses one long-lived solver pool across tenants, and
-/// produces byte-identical stores (asserted by the integration suite).
-#[deprecated(
-    since = "0.2.0",
-    note = "register the dataset with a `VoiceService` (see `service::ServiceBuilder`); \
-            the facade owns the store and shares one solver pool across tenants"
-)]
-pub fn preprocess<S: Summarizer + Sync + ?Sized>(
-    dataset: &GeneratedDataset,
-    config: &Configuration,
-    summarizer: &S,
-    options: &PreprocessOptions,
-) -> Result<(SpeechStore, PreprocessReport)> {
-    preprocess_with(
-        dataset,
-        config,
-        summarizer,
-        options,
-        Workers::Scoped(options.workers),
-    )
-}
-
 /// Pre-processing over an explicit executor; the shared implementation
-/// behind the deprecated [`preprocess`] shim and the service facade.
+/// behind the service facade (and the integration suite's scoped-pool
+/// harness).
 pub(crate) fn preprocess_with<S: Summarizer + Sync + ?Sized>(
     dataset: &GeneratedDataset,
     config: &Configuration,
@@ -504,32 +481,8 @@ pub(crate) fn preprocess_with<S: Summarizer + Sync + ?Sized>(
 /// entries are left untouched — the same [`std::sync::Arc`] keeps serving
 /// — so after a refresh the store is element-wise identical to a full
 /// pre-processing pass over the new data.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `VoiceService::refresh_tenant` (see `service::ServiceBuilder`); the facade \
-            serializes refreshes per tenant and reuses the shared solver pool"
-)]
-pub fn refresh<S: Summarizer + Sync + ?Sized>(
-    dataset: &GeneratedDataset,
-    config: &Configuration,
-    summarizer: &S,
-    options: &PreprocessOptions,
-    store: &SpeechStore,
-    changed_rows: &[usize],
-) -> Result<RefreshReport> {
-    refresh_with(
-        dataset,
-        config,
-        summarizer,
-        options,
-        store,
-        changed_rows,
-        Workers::Scoped(options.workers),
-    )
-}
-
 /// Delta re-summarization over an explicit executor; the shared
-/// implementation behind the deprecated [`refresh`] shim and
+/// implementation behind
 /// [`crate::service::VoiceService::refresh_tenant`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
@@ -616,14 +569,49 @@ pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
     })
 }
 
-// The legacy free functions stay under test as long as the deprecated
-// shims exist; the facade path is covered by `service::tests` and the
+// These tests drive `preprocess_with`/`refresh_with` over scoped pools;
+// the facade path is covered by `service::tests` and the
 // `vqs-integration` service suite.
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+
+    /// [`preprocess_with`] over a scoped pool sized from `options`.
+    fn preprocess<S: Summarizer + Sync + ?Sized>(
+        dataset: &GeneratedDataset,
+        config: &Configuration,
+        summarizer: &S,
+        options: &PreprocessOptions,
+    ) -> Result<(SpeechStore, PreprocessReport)> {
+        preprocess_with(
+            dataset,
+            config,
+            summarizer,
+            options,
+            Workers::Scoped(options.workers),
+        )
+    }
+
+    /// [`refresh_with`] over a scoped pool sized from `options`.
+    fn refresh<S: Summarizer + Sync + ?Sized>(
+        dataset: &GeneratedDataset,
+        config: &Configuration,
+        summarizer: &S,
+        options: &PreprocessOptions,
+        store: &SpeechStore,
+        changed_rows: &[usize],
+    ) -> Result<RefreshReport> {
+        refresh_with(
+            dataset,
+            config,
+            summarizer,
+            options,
+            store,
+            changed_rows,
+            Workers::Scoped(options.workers),
+        )
+    }
 
     fn tiny_dataset() -> GeneratedDataset {
         SynthSpec {

@@ -17,6 +17,11 @@
 //! over background registrations/refreshes. [`logsim`] replays the
 //! §VIII-D public-deployment workload.
 //!
+//! Answers resolve through the staged [`pipeline`] (tokenize → analyze
+//! → plan → execute): a summary-store hit first, then live plan
+//! execution over `vqs-relalg` for questions the store does not
+//! precompute ([`service::Answer::Computed`]), then a typed apology.
+//!
 //! ```
 //! use vqs_engine::prelude::*;
 //! use vqs_data::{DimSpec, SynthSpec, TargetSpec};
@@ -46,8 +51,8 @@
 //! ```
 //!
 //! The pre-facade free functions (`generator::preprocess`,
-//! `generator::refresh`, text-only `VoiceResponse`) remain as
-//! `#[deprecated]` shims; see the README migration table.
+//! `generator::refresh`) and the text-only `VoiceResponse` are gone;
+//! see the README migration table for the replacements.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -58,6 +63,7 @@ pub mod extensions;
 pub mod generator;
 pub mod logsim;
 pub mod nlq;
+pub mod pipeline;
 pub mod problem;
 pub mod service;
 pub mod store;
@@ -73,13 +79,12 @@ pub mod prelude {
         configured_exact, enumerate_queries, solve_item, target_relation, PreprocessOptions,
         PreprocessReport, RefreshReport, WorkItem,
     };
-    #[allow(deprecated)]
-    pub use crate::generator::{preprocess, refresh};
     pub use crate::logsim::{
         complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,
         FIG9_TYPES, TABLE3,
     };
     pub use crate::nlq::{Extractor, Request, Unsupported};
+    pub use crate::pipeline::{AggKind, ComputedValue, FollowOn, QueryPlan, Utterance};
     pub use crate::problem::{NamedFact, Query, StoredSpeech};
     pub use crate::service::{
         Answer, ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, OverloadPolicy,
@@ -89,7 +94,5 @@ pub mod prelude {
     };
     pub use crate::store::{Lookup, SpeechStore, StoreStats, DEFAULT_SHARDS};
     pub use crate::template::{format_value, speaking_time_secs, SpeechTemplate, ValueStyle};
-    #[allow(deprecated)]
-    pub use crate::voice::VoiceResponse;
     pub use crate::voice::VoiceSession;
 }

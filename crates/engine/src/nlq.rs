@@ -17,8 +17,13 @@ use vqs_relalg::hash::FxHashMap;
 use crate::config::Configuration;
 use crate::problem::Query;
 
-/// Why a data-access request is unsupported (the §VIII-D examples:
-/// extrema, relative comparisons, unavailable data).
+/// Why a data-access request is not answerable from the summary store
+/// (the §VIII-D examples: extrema, relative comparisons, unavailable
+/// data — plus the aggregate/conjunctive shapes the staged pipeline
+/// recognizes). "Unsupported" is a *store* property: all variants except
+/// [`Unsupported::UnavailableData`] are now answered by tier two of
+/// [`crate::pipeline`] (live plan execution) when the tenant retains
+/// live data, and keep their Table III "U-Query" label either way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Unsupported {
     /// Asks for a maximum/minimum ("which airline has the most delays").
@@ -26,6 +31,12 @@ pub enum Unsupported {
     /// Asks for a relative comparison ("compare job satisfaction between
     /// men and women").
     Comparison,
+    /// Asks for a count or total ("how many delays in winter") — the
+    /// store holds averages only.
+    Aggregate,
+    /// A recognized target with more conjunctive predicates than the
+    /// deployment pre-processed.
+    Conjunctive,
     /// References data the deployment does not cover.
     UnavailableData,
 }
@@ -72,19 +83,6 @@ pub struct Extractor {
     /// Maximum predicates the deployment pre-processed.
     max_query_length: usize,
 }
-
-const EXTREMUM_CUES: [&str; 8] = [
-    "most", "highest", "maximum", "max ", "least", "lowest", "minimum", "worst",
-];
-const COMPARISON_CUES: [&str; 5] = [
-    "compare",
-    "comparison",
-    "versus",
-    " vs ",
-    "difference between",
-];
-const HELP_CUES: [&str; 4] = ["help", "what can you do", "how do i", "instructions"];
-const REPEAT_CUES: [&str; 4] = ["repeat", "again", "say that once more", "come again"];
 
 impl Extractor {
     /// Build from a relation's value dictionaries; target synonyms start
@@ -192,68 +190,52 @@ impl Extractor {
         out
     }
 
-    /// Classify a raw voice request (§VIII-D categories).
+    /// Classify a raw voice request (§VIII-D categories). This is the
+    /// label side of the staged pipeline's analyzer — the one
+    /// classification entry point; see [`crate::pipeline`].
     pub fn classify(&self, text: &str) -> Request {
-        let lower = text.to_lowercase();
-        if HELP_CUES.iter().any(|cue| lower.contains(cue)) {
-            return Request::Help;
-        }
-        if REPEAT_CUES.iter().any(|cue| lower.contains(cue)) {
-            return Request::Repeat;
-        }
-        let extremum = EXTREMUM_CUES.iter().any(|cue| lower.contains(cue));
-        let comparison = COMPARISON_CUES.iter().any(|cue| lower.contains(cue));
-        if self
-            .unavailable_markers
-            .iter()
-            .any(|marker| contains_phrase(&lower, marker))
-        {
-            return Request::Unsupported(Unsupported::UnavailableData);
-        }
-        let target = self.extract_target(&lower);
-        let predicates = self.extract_predicates(&lower);
-        let data_access = target.is_some() || !predicates.is_empty();
-        if data_access && comparison {
-            return Request::Unsupported(Unsupported::Comparison);
-        }
-        if data_access && extremum {
-            return Request::Unsupported(Unsupported::Extremum);
-        }
-        match target {
-            Some(target) if predicates.len() <= self.max_query_length => {
-                Request::Query(Query::new(target.to_string(), predicates))
+        crate::pipeline::analyze::analyze(self, text).request
+    }
+
+    /// The value dictionary: lowercased phrase → (dimension, original
+    /// value), longest phrases first.
+    pub(crate) fn value_entries(&self) -> &[(String, (String, String))] {
+        &self.values
+    }
+
+    /// The distinct dimension names covered by the value dictionary.
+    pub(crate) fn dimension_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for (_, (dim, _)) in &self.values {
+            if !names.contains(dim) {
+                names.push(dim.clone());
             }
-            Some(_) => Request::Unsupported(Unsupported::UnavailableData),
-            // A predicate without a recognizable target references data we
-            // cannot serve (e.g. "delays of flight UA123").
-            None if !predicates.is_empty() => Request::Unsupported(Unsupported::UnavailableData),
-            None => Request::Other,
         }
+        names
+    }
+
+    /// The single target column of a one-target deployment, `None` when
+    /// several are configured (an unnamed target is then ambiguous).
+    pub(crate) fn sole_target(&self) -> Option<&str> {
+        let first = self.targets.first().map(|(_, t)| t.as_str())?;
+        self.targets
+            .iter()
+            .all(|(_, t)| t == first)
+            .then_some(first)
+    }
+
+    /// Registered unavailable-data marker phrases (lowercased).
+    pub(crate) fn unavailable_markers(&self) -> &[String] {
+        &self.unavailable_markers
+    }
+
+    /// Maximum predicates the deployment pre-processed.
+    pub(crate) fn max_query_length(&self) -> usize {
+        self.max_query_length
     }
 }
 
-/// Word-boundary-aware containment: `phrase` must appear in `text` and
-/// not be glued into a longer word on either side.
-fn contains_phrase(text: &str, phrase: &str) -> bool {
-    if phrase.is_empty() {
-        return false;
-    }
-    let mut start = 0;
-    while let Some(pos) = text[start..].find(phrase) {
-        let begin = start + pos;
-        let end = begin + phrase.len();
-        let ok_before = begin == 0 || !text[..begin].chars().next_back().unwrap().is_alphanumeric();
-        let ok_after = end == text.len() || !text[end..].chars().next().unwrap().is_alphanumeric();
-        if ok_before && ok_after {
-            return true;
-        }
-        start = begin + 1;
-        if start >= text.len() {
-            break;
-        }
-    }
-    false
-}
+pub(crate) use crate::pipeline::token::contains_phrase;
 
 #[cfg(test)]
 mod tests {
@@ -336,6 +318,36 @@ mod tests {
             ex.classify("tell me about winter"),
             Request::Unsupported(Unsupported::UnavailableData)
         );
+    }
+
+    #[test]
+    fn aggregate_shapes_classify_as_unsupported() {
+        let ex = extractor();
+        assert_eq!(
+            ex.classify("how many cancellations in winter"),
+            Request::Unsupported(Unsupported::Aggregate)
+        );
+        assert_eq!(
+            ex.classify("the total cancellations in the east"),
+            Request::Unsupported(Unsupported::Aggregate)
+        );
+        assert_eq!(ex.classify("how many").label(), "Other");
+    }
+
+    #[test]
+    fn conjunctive_beyond_max_length_classifies_as_unsupported() {
+        // max_query_length = 1: two predicates overflow the store.
+        let ex = Extractor::from_relation(&relation(), 1)
+            .with_target_synonyms("cancelled", &["cancellations"]);
+        assert_eq!(
+            ex.classify("cancellations in winter in the east"),
+            Request::Unsupported(Unsupported::Conjunctive)
+        );
+        // Within the limit it stays a supported query.
+        assert!(matches!(
+            ex.classify("cancellations in winter"),
+            Request::Query(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The staged NL query pipeline: tokenize → analyze → plan → execute.
+//!
+//! This module is the single answer path of the engine
+//! (`ServiceRequest` → pipeline → [`Answer`]): the facade, the serving
+//! front-end, and stateful sessions all call `answer` with the
+//! `Analysis` produced by `analyze::analyze` (which also backs
+//! `Extractor::classify`, so classification happens exactly once).
+//!
+//! Answers resolve through a three-tier chain:
+//!
+//! 1. **Summary-store hit** — supported queries look up the best
+//!    pre-generated speech, byte-identical to the pre-pipeline path
+//!    (the §VIII-E "merely looks up" hot path is untouched).
+//! 2. **Live plan execution** — questions the store does not precompute
+//!    (conjunctive filters beyond the configured length, comparatives,
+//!    extrema, counts/totals) lower to a typed [`QueryPlan`] and execute
+//!    over `vqs-relalg` against the tenant's live table, on the shared
+//!    pool's bulk lane. A configured extremum/comparison extension index
+//!    still wins first (tier 1.5: precomputed beats live).
+//! 3. **Typed apology** — everything still unanswered keeps the legacy
+//!    typed apologies.
+//!
+//! Store-served and live-computed answers additionally carry a
+//! [`FollowOn`] suggestion drawn from adjacent summaries when one
+//! exists.
+
+pub(crate) mod analyze;
+pub mod followon;
+pub mod plan;
+pub mod token;
+
+pub use followon::FollowOn;
+pub use plan::{AggKind, ComputedValue, QueryPlan};
+pub use token::Utterance;
+
+use std::sync::Arc;
+
+use vqs_relalg::prelude::Table;
+
+use crate::extensions::ExtremumIndex;
+use crate::nlq::{Request, Unsupported};
+use crate::service::{
+    Answer, AGGREGATE_APOLOGY, COMPARISON_APOLOGY, CONJUNCTIVE_APOLOGY, EXTREMUM_APOLOGY,
+    NOTHING_TO_REPEAT, NOT_UNDERSTOOD, UNAVAILABLE,
+};
+use crate::store::{Lookup, SpeechStore};
+
+pub(crate) use analyze::Analysis;
+pub(crate) use plan::Exec;
+
+/// One tenant's answer-time resources, borrowed for the duration of one
+/// request.
+pub(crate) struct PipelineContext<'a> {
+    /// The tenant's speech store (tier one).
+    pub store: &'a SpeechStore,
+    /// Spoken help text for `Help` requests.
+    pub help_text: &'a str,
+    /// Optional precomputed extremum/comparison index (tier 1.5).
+    pub extensions: Option<&'a ExtremumIndex>,
+    /// The tenant's live table (tier two); `None` for stores built
+    /// without retained data (free-standing sessions, hand-built
+    /// stores), which degrades gracefully to the apology tier.
+    pub live: Option<&'a Arc<Table>>,
+    /// Where tier-two plans materialize.
+    pub exec: Exec<'a>,
+}
+
+/// Map one analyzed request onto a typed answer (and optional follow-on
+/// hint) through the three-tier chain. `Repeat` resolves to the
+/// no-history help text — stateful replay lives in
+/// [`crate::voice::VoiceSession`], which intercepts `Repeat` before
+/// calling in.
+pub(crate) fn answer(
+    analysis: &Analysis,
+    text: &str,
+    ctx: &PipelineContext<'_>,
+) -> (Answer, Option<FollowOn>) {
+    match &analysis.request {
+        Request::Help => (
+            Answer::Help {
+                text: ctx.help_text.to_string(),
+            },
+            None,
+        ),
+        Request::Repeat => (
+            Answer::Help {
+                text: NOTHING_TO_REPEAT.to_string(),
+            },
+            None,
+        ),
+        Request::Other => (
+            Answer::Help {
+                text: NOT_UNDERSTOOD.to_string(),
+            },
+            None,
+        ),
+        Request::Query(query) => match ctx.store.lookup(query) {
+            Lookup::Exact(speech) => {
+                let follow_on = followon::suggest(ctx.store, &speech.query);
+                (
+                    Answer::Speech {
+                        speech,
+                        kept_predicates: None,
+                    },
+                    follow_on,
+                )
+            }
+            Lookup::Generalized {
+                speech,
+                kept_predicates,
+            } => {
+                let follow_on = followon::suggest(ctx.store, &speech.query);
+                (
+                    Answer::Speech {
+                        speech,
+                        kept_predicates: Some(kept_predicates),
+                    },
+                    follow_on,
+                )
+            }
+            // A miss on a supported query: the live tier can still
+            // compute the store's own semantic (the average) directly.
+            Lookup::Miss => match live_answer(
+                &QueryPlan::Aggregate {
+                    target: query.target().to_string(),
+                    predicates: query.predicates().to_vec(),
+                    agg: AggKind::Avg,
+                },
+                ctx,
+            ) {
+                Some(answered) => answered,
+                None => (
+                    Answer::NoSummary {
+                        query: query.clone(),
+                    },
+                    None,
+                ),
+            },
+        },
+        Request::Unsupported(reason) => {
+            // Tier 1.5: a precomputed extension index answers extremum/
+            // comparison shapes before any live work, preserving the
+            // pre-pipeline behavior of deployments that configured one.
+            let extension_answer = match reason {
+                Unsupported::Extremum => ctx
+                    .extensions
+                    .and_then(|index| index.answer_extremum_text(text)),
+                Unsupported::Comparison => ctx
+                    .extensions
+                    .and_then(|index| index.answer_comparison_text(text)),
+                Unsupported::Aggregate
+                | Unsupported::Conjunctive
+                | Unsupported::UnavailableData => None,
+            };
+            if let Some(text) = extension_answer {
+                return (Answer::Extension { text }, None);
+            }
+            // Tier two: execute the analyzer's typed plan live.
+            if let Some(plan) = &analysis.plan {
+                if let Some(answered) = live_answer(plan, ctx) {
+                    return answered;
+                }
+            }
+            // Tier three: the typed apology.
+            (
+                Answer::Unsupported {
+                    reason: reason.clone(),
+                    text: match reason {
+                        Unsupported::Extremum => EXTREMUM_APOLOGY,
+                        Unsupported::Comparison => COMPARISON_APOLOGY,
+                        Unsupported::Aggregate => AGGREGATE_APOLOGY,
+                        Unsupported::Conjunctive => CONJUNCTIVE_APOLOGY,
+                        Unsupported::UnavailableData => UNAVAILABLE,
+                    }
+                    .to_string(),
+                },
+                None,
+            )
+        }
+    }
+}
+
+/// Tier two: execute `plan` against the live table, if there is one.
+/// The follow-on for a computed answer points at the stored summary
+/// nearest to the computed subset (one predicate past what the plan
+/// scoped), when it exists.
+fn live_answer(plan: &QueryPlan, ctx: &PipelineContext<'_>) -> Option<(Answer, Option<FollowOn>)> {
+    let table = ctx.live?;
+    let (value, text) = plan::execute(plan, table, ctx.exec)?;
+    let answered =
+        crate::problem::Query::new(plan.target().to_string(), plan.predicates().iter().cloned());
+    let follow_on = followon::suggest(ctx.store, &answered);
+    Some((
+        Answer::Computed {
+            plan: plan.clone(),
+            value,
+            text,
+        },
+        follow_on,
+    ))
+}

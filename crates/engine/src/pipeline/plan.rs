@@ -1,0 +1,600 @@
+//! Stage three of the pipeline: typed logical plans and their execution
+//! over `vqs-relalg`.
+//!
+//! A [`QueryPlan`] is the engine-side logical form of a live question —
+//! small, comparable ([`PartialEq`], unlike `vqs_relalg::plan::Plan`)
+//! and carried verbatim inside `Answer::Computed` so callers can branch
+//! on *what* was computed. [`QueryPlan::to_relalg`] lowers it onto the
+//! relational operators (σ → Γ → ORDER BY), and `execute` materializes
+//! it against the tenant's live table, interpreting the result into a
+//! typed [`ComputedValue`] plus its deterministic voice rendering.
+
+use std::sync::Arc;
+
+use vqs_relalg::error::Result as RelalgResult;
+use vqs_relalg::ops::aggregate::{AggFunc, AggItem};
+use vqs_relalg::prelude::{Expr, Plan, Table, Value};
+
+use crate::service::{ScatterPriority, SolverPool};
+use crate::template::format_value;
+
+/// Aggregate function of a live [`QueryPlan::Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Mean of the target over the subset (the store's own semantic,
+    /// used for conjunctive questions beyond the pre-processed length).
+    Avg,
+    /// Sum of the target over the subset ("total …").
+    Sum,
+    /// Row count of the subset ("how many …").
+    Count,
+    /// Smallest target value in the subset ("minimum …", no grouping
+    /// dimension mentioned).
+    Min,
+    /// Largest target value in the subset ("maximum …", no grouping
+    /// dimension mentioned).
+    Max,
+}
+
+impl AggKind {
+    fn func(self) -> AggFunc {
+        match self {
+            AggKind::Avg => AggFunc::Avg,
+            AggKind::Sum => AggFunc::Sum,
+            AggKind::Count => AggFunc::CountAll,
+            AggKind::Min => AggFunc::Min,
+            AggKind::Max => AggFunc::Max,
+        }
+    }
+}
+
+/// The typed logical plan of one live-path question. Dimensions and
+/// values are carried by name; [`QueryPlan::to_relalg`] resolves them
+/// against the live table's schema at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// σ(predicates) → Γ(agg(target)): a single aggregate over one data
+    /// subset (conjunctive filters, counts, totals, global extrema).
+    Aggregate {
+        /// Target column the aggregate ranges over.
+        target: String,
+        /// Conjunctive equality predicates scoping the subset.
+        predicates: Vec<(String, String)>,
+        /// The aggregate to compute.
+        agg: AggKind,
+    },
+    /// σ(predicates) → Γ(dimension; avg(target)) → ORDER BY avg: which
+    /// group of `dimension` has the highest/lowest average target
+    /// ("which airline is worst on Fridays?").
+    GroupExtremum {
+        /// Target column averaged per group.
+        target: String,
+        /// Predicates scoping the subset first.
+        predicates: Vec<(String, String)>,
+        /// Grouping dimension.
+        dimension: String,
+        /// `true` = highest average wins, `false` = lowest.
+        highest: bool,
+    },
+    /// σ(predicates ∧ dimension ∈ {left, right}) → Γ(dimension;
+    /// avg(target)): relative comparison of two values of one dimension.
+    Comparison {
+        /// Target column averaged per side.
+        target: String,
+        /// Predicates scoping both sides identically.
+        predicates: Vec<(String, String)>,
+        /// Dimension the compared values belong to.
+        dimension: String,
+        /// First-mentioned value.
+        left: String,
+        /// Second-mentioned value.
+        right: String,
+    },
+}
+
+impl QueryPlan {
+    /// The target column this plan computes over.
+    pub fn target(&self) -> &str {
+        match self {
+            QueryPlan::Aggregate { target, .. }
+            | QueryPlan::GroupExtremum { target, .. }
+            | QueryPlan::Comparison { target, .. } => target,
+        }
+    }
+
+    /// The equality predicates scoping this plan's subset.
+    pub fn predicates(&self) -> &[(String, String)] {
+        match self {
+            QueryPlan::Aggregate { predicates, .. }
+            | QueryPlan::GroupExtremum { predicates, .. }
+            | QueryPlan::Comparison { predicates, .. } => predicates,
+        }
+    }
+
+    /// Lower onto `vqs-relalg` operators over `table`. Fails when a
+    /// referenced column is missing from the live schema (e.g. a synonym
+    /// added for a column the projection does not retain).
+    pub fn to_relalg(&self, table: &Arc<Table>) -> RelalgResult<Plan> {
+        let schema = table.schema();
+        let target_col = Expr::col(schema.index_of(self.target())?);
+        let mut selection: Option<Expr> = None;
+        for (dim, value) in self.predicates() {
+            let eq = Expr::col(schema.index_of(dim)?).eq(Expr::lit(value.as_str()));
+            selection = Some(match selection {
+                Some(prev) => prev.and(eq),
+                None => eq,
+            });
+        }
+        match self {
+            QueryPlan::Aggregate { agg, .. } => {
+                let mut plan = Plan::shared(Arc::clone(table));
+                if let Some(predicate) = selection {
+                    plan = plan.filter(predicate);
+                }
+                Ok(plan.aggregate(
+                    vec![],
+                    vec![],
+                    vec![
+                        AggItem::new(agg.func(), target_col.clone(), "value"),
+                        AggItem::new(AggFunc::CountAll, target_col, "support"),
+                    ],
+                ))
+            }
+            QueryPlan::GroupExtremum { dimension, .. } => {
+                let dim_col = Expr::col(schema.index_of(dimension)?);
+                let mut plan = Plan::shared(Arc::clone(table));
+                if let Some(predicate) = selection {
+                    plan = plan.filter(predicate);
+                }
+                Ok(plan
+                    .aggregate(
+                        vec![dim_col],
+                        vec![dimension.clone()],
+                        vec![
+                            AggItem::new(AggFunc::Avg, target_col.clone(), "value"),
+                            AggItem::new(AggFunc::CountAll, target_col, "support"),
+                        ],
+                    )
+                    // Ascending by average; the interpreter reads both
+                    // ends, so one sort serves either polarity.
+                    .sort(vec![Expr::col(1)]))
+            }
+            QueryPlan::Comparison {
+                dimension,
+                left,
+                right,
+                ..
+            } => {
+                let dim_col = Expr::col(schema.index_of(dimension)?);
+                let sides = dim_col
+                    .clone()
+                    .eq(Expr::lit(left.as_str()))
+                    .or(dim_col.clone().eq(Expr::lit(right.as_str())));
+                let predicate = match selection {
+                    Some(prev) => prev.and(sides),
+                    None => sides,
+                };
+                Ok(Plan::shared(Arc::clone(table)).filter(predicate).aggregate(
+                    vec![dim_col],
+                    vec![dimension.clone()],
+                    vec![
+                        AggItem::new(AggFunc::Avg, target_col.clone(), "value"),
+                        AggItem::new(AggFunc::CountAll, target_col, "support"),
+                    ],
+                ))
+            }
+        }
+    }
+}
+
+/// The typed result of executing a [`QueryPlan`] — the structured
+/// payload of `Answer::Computed`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputedValue {
+    /// A single aggregate over one subset (`Avg`/`Sum`/`Min`/`Max`).
+    Scalar {
+        /// Which aggregate produced the value.
+        agg: AggKind,
+        /// The aggregate value.
+        value: f64,
+        /// Rows in the subset.
+        support: usize,
+    },
+    /// A row count ([`AggKind::Count`]).
+    Count {
+        /// Rows in the subset.
+        rows: usize,
+    },
+    /// Best/worst group of a dimension by average target.
+    GroupExtremum {
+        /// Grouping dimension.
+        dimension: String,
+        /// The group at the asked-for end.
+        best: String,
+        /// Its average target value.
+        best_value: f64,
+        /// The group at the opposite end.
+        other: String,
+        /// Its average target value.
+        other_value: f64,
+        /// Polarity asked for.
+        highest: bool,
+    },
+    /// Averages of the two compared values.
+    Comparison {
+        /// Dimension the values belong to.
+        dimension: String,
+        /// First-mentioned value.
+        left: String,
+        /// Its average target value.
+        left_value: f64,
+        /// Second-mentioned value.
+        right: String,
+        /// Its average target value.
+        right_value: f64,
+    },
+}
+
+/// Where a live plan materializes: inline on the calling thread
+/// (stateful sessions own no pool handle) or as a single-task batch on
+/// the shared pool's **bulk** lane, so live plans queue behind nothing
+/// but themselves and can never starve interactive refresh batches.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Exec<'a> {
+    /// Execute on the calling thread.
+    Inline,
+    /// Execute on the pool's bulk lane (the facade and front-end paths).
+    Bulk(&'a SolverPool),
+}
+
+impl Exec<'_> {
+    fn run(&self, plan: &Plan) -> RelalgResult<Table> {
+        match self {
+            Exec::Inline => plan.execute(),
+            Exec::Bulk(pool) => pool
+                .scatter_at(ScatterPriority::Bulk, 1, |_| plan.execute())
+                .pop()
+                .expect("scatter of one task yields one result"),
+        }
+    }
+}
+
+/// Execute `plan` against the live `table` and interpret the result.
+/// `None` means the live tier cannot answer (missing column, empty
+/// subset, one comparison side absent …) and the caller falls through to
+/// the typed apology tier.
+pub(crate) fn execute(
+    plan: &QueryPlan,
+    table: &Arc<Table>,
+    exec: Exec<'_>,
+) -> Option<(ComputedValue, String)> {
+    let relalg = plan.to_relalg(table).ok()?;
+    let result = exec.run(&relalg).ok()?;
+    let value = interpret(plan, &result)?;
+    let text = render(plan, &value);
+    Some((value, text))
+}
+
+/// Read the materialized result back into a [`ComputedValue`].
+fn interpret(plan: &QueryPlan, result: &Table) -> Option<ComputedValue> {
+    match plan {
+        QueryPlan::Aggregate { agg, .. } => {
+            // Global aggregates always yield exactly one row.
+            let support = as_count(result.value(0, 1))?;
+            if support == 0 {
+                // The subset is absent from the live data: let the
+                // apology tier answer rather than voicing a NULL.
+                return None;
+            }
+            if *agg == AggKind::Count {
+                return Some(ComputedValue::Count { rows: support });
+            }
+            let value = result.value(0, 0).as_f64()?;
+            Some(ComputedValue::Scalar {
+                agg: *agg,
+                value,
+                support,
+            })
+        }
+        QueryPlan::GroupExtremum {
+            dimension, highest, ..
+        } => {
+            if result.is_empty() {
+                return None;
+            }
+            // Sorted ascending by average: the ends are the extremes.
+            let (low, high) = (0, result.len() - 1);
+            let (best_row, other_row) = if *highest { (high, low) } else { (low, high) };
+            Some(ComputedValue::GroupExtremum {
+                dimension: dimension.clone(),
+                best: as_name(result.value(best_row, 0))?,
+                best_value: result.value(best_row, 1).as_f64()?,
+                other: as_name(result.value(other_row, 0))?,
+                other_value: result.value(other_row, 1).as_f64()?,
+                highest: *highest,
+            })
+        }
+        QueryPlan::Comparison {
+            dimension,
+            left,
+            right,
+            ..
+        } => {
+            let side = |name: &str| -> Option<f64> {
+                (0..result.len())
+                    .find(|&row| as_name(result.value(row, 0)).as_deref() == Some(name))
+                    .and_then(|row| result.value(row, 1).as_f64())
+            };
+            Some(ComputedValue::Comparison {
+                dimension: dimension.clone(),
+                left: left.clone(),
+                left_value: side(left)?,
+                right: right.clone(),
+                right_value: side(right)?,
+            })
+        }
+    }
+}
+
+fn as_count(value: Value) -> Option<usize> {
+    match value {
+        Value::Int(n) if n >= 0 => Some(n as usize),
+        _ => None,
+    }
+}
+
+fn as_name(value: Value) -> Option<String> {
+    match value {
+        Value::Str(s) => Some(s.to_string()),
+        _ => None,
+    }
+}
+
+/// "for season Winter and region East", or "" for the overall subset —
+/// the same phrasing stored speeches use for fact scopes.
+fn scope_suffix(predicates: &[(String, String)]) -> String {
+    if predicates.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = predicates
+        .iter()
+        .map(|(d, v)| format!("{} {}", d.replace('_', " "), v))
+        .collect();
+    format!(" for {}", parts.join(" and "))
+}
+
+/// Deterministic voice rendering of a computed value. Prefixed "From the
+/// live data" so transcripts distinguish tier-two answers from stored
+/// speeches and extension-index answers.
+fn render(plan: &QueryPlan, value: &ComputedValue) -> String {
+    let spoken_target = plan.target().replace('_', " ");
+    let scope = scope_suffix(plan.predicates());
+    match value {
+        ComputedValue::Scalar {
+            agg,
+            value,
+            support,
+        } => {
+            let what = match agg {
+                AggKind::Avg => "average",
+                AggKind::Sum => "total",
+                AggKind::Min => "minimum",
+                AggKind::Max => "maximum",
+                AggKind::Count => unreachable!("counts render as ComputedValue::Count"),
+            };
+            format!(
+                "From the live data, the {what} {spoken_target}{scope} is about {}, over {} rows.",
+                format_value(*value),
+                support,
+            )
+        }
+        ComputedValue::Count { rows } => {
+            format!("From the live data, I count {rows} rows{scope}.")
+        }
+        ComputedValue::GroupExtremum {
+            dimension,
+            best,
+            best_value,
+            other,
+            other_value,
+            highest,
+        } => {
+            let spoken_dim = dimension.replace('_', " ");
+            let (best_end, other_end) = if *highest {
+                ("highest", "lowest")
+            } else {
+                ("lowest", "highest")
+            };
+            format!(
+                "From the live data{scope}, {best} has the {best_end} average {spoken_target} \
+                 of any {spoken_dim} at about {}; {other} has the {other_end} at about {}.",
+                format_value(*best_value),
+                format_value(*other_value),
+            )
+        }
+        ComputedValue::Comparison {
+            left,
+            left_value,
+            right,
+            right_value,
+            ..
+        } => {
+            let relation = if (left_value - right_value).abs() < 1e-9 {
+                "about the same"
+            } else if left_value > right_value {
+                "higher"
+            } else {
+                "lower"
+            };
+            format!(
+                "From the live data{scope}, {left} has {relation} average {spoken_target} \
+                 than {right}: about {} versus {}.",
+                format_value(*left_value),
+                format_value(*right_value),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqs_relalg::prelude::{ColumnType, Field, Schema};
+
+    fn live_table() -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::required("season", ColumnType::Str),
+            Field::required("region", ColumnType::Str),
+            Field::required("delay", ColumnType::Float),
+        ])
+        .unwrap();
+        Arc::new(
+            Table::from_rows(
+                schema,
+                vec![
+                    vec!["Winter".into(), "East".into(), 30.0.into()],
+                    vec!["Winter".into(), "West".into(), 20.0.into()],
+                    vec!["Summer".into(), "East".into(), 10.0.into()],
+                    vec!["Summer".into(), "West".into(), 4.0.into()],
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn conjunctive_average_executes() {
+        let plan = QueryPlan::Aggregate {
+            target: "delay".into(),
+            predicates: vec![
+                ("region".into(), "East".into()),
+                ("season".into(), "Winter".into()),
+            ],
+            agg: AggKind::Avg,
+        };
+        let (value, text) = execute(&plan, &live_table(), Exec::Inline).unwrap();
+        assert_eq!(
+            value,
+            ComputedValue::Scalar {
+                agg: AggKind::Avg,
+                value: 30.0,
+                support: 1
+            }
+        );
+        assert!(text.contains("for region East and season Winter"), "{text}");
+    }
+
+    #[test]
+    fn counts_and_totals_execute() {
+        let count = QueryPlan::Aggregate {
+            target: "delay".into(),
+            predicates: vec![("season".into(), "Winter".into())],
+            agg: AggKind::Count,
+        };
+        let (value, text) = execute(&count, &live_table(), Exec::Inline).unwrap();
+        assert_eq!(value, ComputedValue::Count { rows: 2 });
+        assert!(text.contains("2 rows"), "{text}");
+
+        let sum = QueryPlan::Aggregate {
+            target: "delay".into(),
+            predicates: vec![],
+            agg: AggKind::Sum,
+        };
+        let (value, _) = execute(&sum, &live_table(), Exec::Inline).unwrap();
+        assert_eq!(
+            value,
+            ComputedValue::Scalar {
+                agg: AggKind::Sum,
+                value: 64.0,
+                support: 4
+            }
+        );
+    }
+
+    #[test]
+    fn group_extremum_reads_both_ends() {
+        let plan = QueryPlan::GroupExtremum {
+            target: "delay".into(),
+            predicates: vec![("region".into(), "East".into())],
+            dimension: "season".into(),
+            highest: true,
+        };
+        let (value, text) = execute(&plan, &live_table(), Exec::Inline).unwrap();
+        match value {
+            ComputedValue::GroupExtremum {
+                best,
+                other,
+                best_value,
+                ..
+            } => {
+                assert_eq!(best, "Winter");
+                assert_eq!(other, "Summer");
+                assert_eq!(best_value, 30.0);
+            }
+            other => panic!("expected group extremum, got {other:?}"),
+        }
+        assert!(text.contains("Winter has the highest"), "{text}");
+    }
+
+    #[test]
+    fn comparison_keeps_mention_order() {
+        let plan = QueryPlan::Comparison {
+            target: "delay".into(),
+            predicates: vec![],
+            dimension: "season".into(),
+            left: "Summer".into(),
+            right: "Winter".into(),
+        };
+        let (value, text) = execute(&plan, &live_table(), Exec::Inline).unwrap();
+        match value {
+            ComputedValue::Comparison {
+                left_value,
+                right_value,
+                ..
+            } => {
+                assert_eq!(left_value, 7.0);
+                assert_eq!(right_value, 25.0);
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+        assert!(text.contains("Summer has lower"), "{text}");
+    }
+
+    #[test]
+    fn empty_subsets_and_missing_columns_fall_through() {
+        let absent = QueryPlan::Aggregate {
+            target: "delay".into(),
+            predicates: vec![("season".into(), "Monsoon".into())],
+            agg: AggKind::Avg,
+        };
+        assert!(execute(&absent, &live_table(), Exec::Inline).is_none());
+        let bad_column = QueryPlan::Aggregate {
+            target: "nonexistent".into(),
+            predicates: vec![],
+            agg: AggKind::Avg,
+        };
+        assert!(execute(&bad_column, &live_table(), Exec::Inline).is_none());
+        let one_sided = QueryPlan::Comparison {
+            target: "delay".into(),
+            predicates: vec![],
+            dimension: "season".into(),
+            left: "Winter".into(),
+            right: "Monsoon".into(),
+        };
+        assert!(execute(&one_sided, &live_table(), Exec::Inline).is_none());
+    }
+
+    #[test]
+    fn bulk_execution_matches_inline() {
+        let pool = SolverPool::new(2);
+        let plan = QueryPlan::GroupExtremum {
+            target: "delay".into(),
+            predicates: vec![],
+            dimension: "region".into(),
+            highest: false,
+        };
+        let inline = execute(&plan, &live_table(), Exec::Inline).unwrap();
+        let bulk = execute(&plan, &live_table(), Exec::Bulk(&pool)).unwrap();
+        assert_eq!(inline, bulk);
+    }
+}

@@ -73,6 +73,7 @@ use vqs_relalg::hash::FxHashMap;
 
 use crate::error::{EngineError, Result};
 use crate::generator::{PreprocessReport, RefreshReport};
+use crate::pipeline::Exec;
 use crate::service::{
     Answer, ServiceRequest, ServiceResponse, Tenant, TenantSpec, VoiceService, INTERNAL_ERROR,
     OVERLOADED,
@@ -283,6 +284,7 @@ fn contained_panic_response(
         tenant: String::new(),
         request: None,
         speaking_secs: speaking_time_secs(INTERNAL_ERROR),
+        follow_on: None,
         session: None,
         latency_micros: start.elapsed().as_micros() as u64,
         answer: Answer::Internal {
@@ -616,6 +618,7 @@ impl FrontEnd {
             tenant: tenant.to_string(),
             request: None,
             speaking_secs: speaking_time_secs(OVERLOADED),
+            follow_on: None,
             session: None,
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
@@ -1084,7 +1087,9 @@ fn respond_cached(
         }
     };
     match &tenant {
-        Some(tenant) => VoiceService::respond_owned(tenant, request, start),
+        Some(tenant) => {
+            VoiceService::respond_owned(tenant, request, start, Exec::Bulk(&service.pool))
+        }
         None => VoiceService::unknown_tenant_response(&request.tenant, start),
     }
 }

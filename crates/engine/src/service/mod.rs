@@ -50,6 +50,8 @@ use parking_lot::{Mutex, RwLock};
 use vqs_core::prelude::{GreedySummarizer, Instrumentation, Summarizer};
 use vqs_data::GeneratedDataset;
 use vqs_relalg::hash::FxHashMap;
+use vqs_relalg::ops::{self, ProjectItem};
+use vqs_relalg::prelude::Table;
 
 use crate::config::Configuration;
 use crate::error::{EngineError, Result};
@@ -60,8 +62,9 @@ use crate::generator::{
 };
 use crate::logsim::{tabulate, LogEntry};
 use crate::nlq::{Extractor, Request, Unsupported};
+use crate::pipeline::{self, ComputedValue, Exec, FollowOn, PipelineContext, QueryPlan};
 use crate::problem::StoredSpeech;
-use crate::store::{Lookup, SpeechStore, StoreStats};
+use crate::store::{SpeechStore, StoreStats};
 use crate::template::{speaking_time_secs, SpeechTemplate};
 use crate::voice::VoiceSession;
 
@@ -76,6 +79,13 @@ pub(crate) const EXTREMUM_APOLOGY: &str = "I can only summarize averages, not fi
 /// Apology for comparison queries with no extension index.
 pub(crate) const COMPARISON_APOLOGY: &str =
     "I cannot compare data subsets directly; ask about one subset at a time.";
+/// Apology for count/total aggregates when no live table is retained.
+pub(crate) const AGGREGATE_APOLOGY: &str =
+    "I can only summarize averages, not compute counts or totals.";
+/// Apology for conjunctive queries beyond the pre-computed length when
+/// no live table is retained.
+pub(crate) const CONJUNCTIVE_APOLOGY: &str =
+    "That question combines more filters than I pre-computed.";
 /// Apology for data outside the deployment.
 pub(crate) const UNAVAILABLE: &str = "That data is not part of this deployment.";
 /// Spoken text of [`Answer::UnknownTenant`].
@@ -122,6 +132,18 @@ pub enum Answer {
     /// Answered by a pre-computed extension index (extremum/comparison).
     Extension {
         /// Spoken answer.
+        text: String,
+    },
+    /// Computed live by executing a typed [`QueryPlan`] over the
+    /// tenant's retained table (the pipeline's tier two): questions the
+    /// store does not precompute — conjunctive filters beyond the
+    /// configured length, comparatives, extrema, counts and totals.
+    Computed {
+        /// The logical plan that was executed.
+        plan: QueryPlan,
+        /// The typed result the spoken text was rendered from.
+        value: ComputedValue,
+        /// Spoken rendering of `value`.
         text: String,
     },
     /// Usage guidance: explicit help requests, unintelligible input, and
@@ -173,6 +195,7 @@ impl Answer {
         match self {
             Answer::Speech { speech, .. } => &speech.text,
             Answer::Extension { text }
+            | Answer::Computed { text, .. }
             | Answer::Help { text }
             | Answer::Unsupported { text, .. } => text,
             Answer::NoSummary { .. } => NO_SUMMARY,
@@ -200,6 +223,10 @@ pub struct ServiceResponse {
     pub request: Option<Request>,
     /// The typed answer.
     pub answer: Answer,
+    /// A suggested follow-on question drawn from summaries adjacent to
+    /// the answered query, when one exists. Only store-served and
+    /// live-computed answers carry hints.
+    pub follow_on: Option<FollowOn>,
     /// The stable id of the [`VoiceSession`] that answered, `None` for
     /// stateless [`VoiceService::respond`] traffic — lets front-end and
     /// log consumers attribute load to individual conversations.
@@ -221,69 +248,6 @@ impl ServiceResponse {
     /// tenant did not resolve).
     pub fn label(&self) -> &'static str {
         self.request.as_ref().map_or("Unknown", Request::label)
-    }
-}
-
-/// Map a classified request onto a typed answer using one tenant's
-/// resources. Shared by the stateless [`VoiceService::respond`] entry
-/// point and the stateful [`VoiceSession`] (which intercepts `Repeat`
-/// before calling in).
-pub(crate) fn answer_request(
-    request: &Request,
-    text: &str,
-    store: &SpeechStore,
-    help_text: &str,
-    extensions: Option<&ExtremumIndex>,
-) -> Answer {
-    match request {
-        Request::Help => Answer::Help {
-            text: help_text.to_string(),
-        },
-        Request::Repeat => Answer::Help {
-            text: NOTHING_TO_REPEAT.to_string(),
-        },
-        Request::Other => Answer::Help {
-            text: NOT_UNDERSTOOD.to_string(),
-        },
-        Request::Query(query) => match store.lookup(query) {
-            Lookup::Exact(speech) => Answer::Speech {
-                speech,
-                kept_predicates: None,
-            },
-            Lookup::Generalized {
-                speech,
-                kept_predicates,
-            } => Answer::Speech {
-                speech,
-                kept_predicates: Some(kept_predicates),
-            },
-            Lookup::Miss => Answer::NoSummary {
-                query: query.clone(),
-            },
-        },
-        Request::Unsupported(reason) => {
-            let extension_answer = match reason {
-                Unsupported::Extremum => {
-                    extensions.and_then(|index| index.answer_extremum_text(text))
-                }
-                Unsupported::Comparison => {
-                    extensions.and_then(|index| index.answer_comparison_text(text))
-                }
-                Unsupported::UnavailableData => None,
-            };
-            match extension_answer {
-                Some(text) => Answer::Extension { text },
-                None => Answer::Unsupported {
-                    reason: reason.clone(),
-                    text: match reason {
-                        Unsupported::Extremum => EXTREMUM_APOLOGY,
-                        Unsupported::Comparison => COMPARISON_APOLOGY,
-                        Unsupported::UnavailableData => UNAVAILABLE,
-                    }
-                    .to_string(),
-                },
-            }
-        }
     }
 }
 
@@ -375,6 +339,7 @@ pub(crate) struct RequestCounters {
     requests: AtomicU64,
     speeches: AtomicU64,
     extensions: AtomicU64,
+    computed: AtomicU64,
     helps: AtomicU64,
     unsupported: AtomicU64,
     misses: AtomicU64,
@@ -390,6 +355,7 @@ impl RequestCounters {
         let kind = match answer {
             Answer::Speech { .. } => &self.speeches,
             Answer::Extension { .. } => &self.extensions,
+            Answer::Computed { .. } => &self.computed,
             Answer::Help { .. } => &self.helps,
             Answer::Unsupported { .. } => &self.unsupported,
             Answer::NoSummary { .. } => &self.misses,
@@ -413,12 +379,15 @@ struct TenantRollup {
     solver_time: Duration,
 }
 
-/// The extractor-side state rebuilt after every refresh (dictionaries
-/// may gain values).
+/// The answer-time state rebuilt after every refresh (dictionaries may
+/// gain values, the live table follows the data).
 #[derive(Debug)]
 pub(crate) struct TenantRuntime {
     pub(crate) extractor: Extractor,
     pub(crate) extensions: Option<ExtremumIndex>,
+    /// The tenant's data, projected to its configured dimension and
+    /// target columns — the pipeline's tier-two execution input.
+    pub(crate) live: Option<Arc<Table>>,
 }
 
 /// One registered deployment.
@@ -433,8 +402,11 @@ pub(crate) struct Tenant {
     store: Arc<SpeechStore>,
     /// Serializes refreshes per tenant. The raw dataset itself is *not*
     /// retained — callers hand the current data to
-    /// [`VoiceService::refresh_tenant`], so a tenant's resident cost is
-    /// its store plus dictionaries, not a full table copy.
+    /// [`VoiceService::refresh_tenant`] — but the runtime keeps a
+    /// projection of it onto the configured dimension and target
+    /// columns, so the pipeline's live tier can answer questions the
+    /// store does not precompute. A tenant's resident cost is its store
+    /// plus dictionaries plus that bounded projection.
     refresh_lock: Mutex<()>,
     /// Shared with every open [`VoiceSession`], so refreshed extractor
     /// dictionaries reach live sessions immediately.
@@ -468,9 +440,15 @@ impl Tenant {
             )),
             None => None,
         };
+        let mut projection = Vec::new();
+        for column in config.dimensions.iter().chain(&config.targets) {
+            projection.push(ProjectItem::passthrough(&dataset.table, column)?);
+        }
+        let live = Arc::new(ops::project(&dataset.table, &projection)?);
         Ok(TenantRuntime {
             extractor,
             extensions,
+            live: Some(live),
         })
     }
 }
@@ -490,6 +468,8 @@ pub struct TenantStats {
     pub speech_answers: u64,
     /// Requests answered by an extension index.
     pub extension_answers: u64,
+    /// Requests answered by live plan execution ([`Answer::Computed`]).
+    pub computed_answers: u64,
     /// Requests answered with usage guidance.
     pub help_answers: u64,
     /// Requests answered with an apology.
@@ -822,14 +802,16 @@ impl VoiceService {
         )
     }
 
-    /// Answer one stateless request: classify the text with the tenant's
-    /// extractor, look up the best pre-generated speech (or extension
-    /// answer), and account the latency. Per-user conversation state
-    /// (repeat handling) lives in [`VoiceService::session`].
+    /// Answer one stateless request through the staged pipeline:
+    /// classify the text with the tenant's extractor, then resolve
+    /// through the three-tier chain — stored speech (or extension
+    /// answer), live plan execution on the shared pool's bulk lane, or
+    /// a typed apology — and account the latency. Per-user conversation
+    /// state (repeat handling) lives in [`VoiceService::session`].
     pub fn respond(&self, request: &ServiceRequest) -> ServiceResponse {
         let start = Instant::now();
         match self.tenant(&request.tenant) {
-            Some(tenant) => Self::respond_resolved(&tenant, request, start),
+            Some(tenant) => Self::respond_resolved(&tenant, request, start, Exec::Bulk(&self.pool)),
             None => Self::unknown_tenant_response(&request.tenant, start),
         }
     }
@@ -843,6 +825,7 @@ impl VoiceService {
             tenant: tenant.to_string(),
             request: None,
             speaking_secs: speaking_time_secs(answer.text()),
+            follow_on: None,
             session: None,
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
@@ -861,8 +844,9 @@ impl VoiceService {
         tenant: &Tenant,
         request: &ServiceRequest,
         start: Instant,
+        exec: Exec<'_>,
     ) -> ServiceResponse {
-        Self::respond_parts(tenant, request.tenant.clone(), &request.text, start)
+        Self::respond_parts(tenant, request.tenant.clone(), &request.text, start, exec)
     }
 
     /// [`VoiceService::respond_resolved`] taking the request by value:
@@ -873,8 +857,9 @@ impl VoiceService {
         tenant: &Tenant,
         request: ServiceRequest,
         start: Instant,
+        exec: Exec<'_>,
     ) -> ServiceResponse {
-        Self::respond_parts(tenant, request.tenant, &request.text, start)
+        Self::respond_parts(tenant, request.tenant, &request.text, start, exec)
     }
 
     /// Shared respond body; `label` becomes [`ServiceResponse::tenant`].
@@ -883,22 +868,25 @@ impl VoiceService {
         label: String,
         text: &str,
         start: Instant,
+        exec: Exec<'_>,
     ) -> ServiceResponse {
         let runtime = tenant.runtime.read();
-        let classified = runtime.extractor.classify(text);
-        let answer = answer_request(
-            &classified,
-            text,
-            &tenant.store,
-            &tenant.help_text,
-            runtime.extensions.as_ref(),
-        );
+        let analysis = pipeline::analyze::analyze(&runtime.extractor, text);
+        let ctx = PipelineContext {
+            store: &tenant.store,
+            help_text: &tenant.help_text,
+            extensions: runtime.extensions.as_ref(),
+            live: runtime.live.as_ref(),
+            exec,
+        };
+        let (answer, follow_on) = pipeline::answer(&analysis, text, &ctx);
         drop(runtime);
         tenant.counters.record(&answer);
         ServiceResponse {
             tenant: label,
-            request: Some(classified),
+            request: Some(analysis.request),
             speaking_secs: speaking_time_secs(answer.text()),
+            follow_on,
             session: None,
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
@@ -927,6 +915,7 @@ impl VoiceService {
                     requests: tenant.counters.requests.load(Ordering::Relaxed),
                     speech_answers: tenant.counters.speeches.load(Ordering::Relaxed),
                     extension_answers: tenant.counters.extensions.load(Ordering::Relaxed),
+                    computed_answers: tenant.counters.computed.load(Ordering::Relaxed),
                     help_answers: tenant.counters.helps.load(Ordering::Relaxed),
                     unsupported_answers: tenant.counters.unsupported.load(Ordering::Relaxed),
                     miss_answers: tenant.counters.misses.load(Ordering::Relaxed),
@@ -1044,24 +1033,42 @@ mod tests {
         assert_eq!(chatter.text(), NOT_UNDERSTOOD);
         let repeat = service.respond(&ServiceRequest::new("svc", "repeat that"));
         assert_eq!(repeat.text(), NOTHING_TO_REPEAT);
-        let unsupported = service.respond(&ServiceRequest::new(
+        // With no extension index, the extremum question still
+        // classifies as U-Query but the live tier answers it.
+        let extremum = service.respond(&ServiceRequest::new(
             "svc",
             "which season has the most delay",
         ));
-        assert!(matches!(
-            unsupported.answer,
-            Answer::Unsupported {
-                reason: Unsupported::Extremum,
-                ..
+        assert_eq!(
+            extremum.request,
+            Some(Request::Unsupported(Unsupported::Extremum))
+        );
+        match &extremum.answer {
+            Answer::Computed { plan, value, text } => {
+                assert!(
+                    matches!(
+                        plan,
+                        QueryPlan::GroupExtremum {
+                            dimension,
+                            highest: true,
+                            ..
+                        } if dimension == "season"
+                    ),
+                    "{plan:?}"
+                );
+                assert!(matches!(value, ComputedValue::GroupExtremum { .. }));
+                assert!(text.contains("highest average delay"), "{text}");
             }
-        ));
+            other => panic!("expected a live computed answer, got {other:?}"),
+        }
 
         let stats = service.stats();
         assert_eq!(stats.tenants.len(), 1);
         let tenant = &stats.tenants[0];
         assert_eq!(tenant.requests, 4);
         assert_eq!(tenant.help_answers, 3);
-        assert_eq!(tenant.unsupported_answers, 1);
+        assert_eq!(tenant.computed_answers, 1);
+        assert_eq!(tenant.unsupported_answers, 0);
         assert_eq!(tenant.speech_answers, 0);
     }
 
@@ -1104,11 +1111,21 @@ mod tests {
                 query,
             });
         }
-        let request = Request::Query(Query::of(
-            "delay",
-            &[("season", "Winter"), ("region", "North")],
-        ));
-        let answer = answer_request(&request, "", &store, "help", None);
+        let ctx = PipelineContext {
+            store: &store,
+            help_text: "help",
+            extensions: None,
+            live: None,
+            exec: Exec::Inline,
+        };
+        let analysis = pipeline::Analysis {
+            request: Request::Query(Query::of(
+                "delay",
+                &[("season", "Winter"), ("region", "North")],
+            )),
+            plan: None,
+        };
+        let (answer, _) = pipeline::answer(&analysis, "", &ctx);
         match answer {
             Answer::Speech {
                 speech,
@@ -1119,10 +1136,14 @@ mod tests {
             }
             other => panic!("expected generalized speech, got {other:?}"),
         }
-        // An unknown target is a typed miss carrying the query, distinct
-        // from the out-of-deployment apology.
-        let miss = Request::Query(Query::of("satisfaction", &[]));
-        let answer = answer_request(&miss, "", &store, "help", None);
+        // Without a live table, an unknown target is a typed miss
+        // carrying the query, distinct from the out-of-deployment
+        // apology.
+        let miss = pipeline::Analysis {
+            request: Request::Query(Query::of("satisfaction", &[])),
+            plan: None,
+        };
+        let (answer, follow_on) = pipeline::answer(&miss, "", &ctx);
         assert_eq!(
             answer,
             Answer::NoSummary {
@@ -1130,6 +1151,36 @@ mod tests {
             }
         );
         assert_eq!(answer.text(), NO_SUMMARY);
+        assert_eq!(follow_on, None);
+    }
+
+    #[test]
+    fn store_hits_carry_follow_on_hints() {
+        let service = service();
+        service
+            .register_dataset(TenantSpec::new("svc", dataset(7), config()))
+            .unwrap();
+        // The Winter slice extends to (Winter, East) and (Winter, West);
+        // the hint picks the canonically first extension.
+        let response = service.respond(&ServiceRequest::new("svc", "delay in Winter?"));
+        assert!(response.answer.is_speech());
+        let hint = response.follow_on.expect("adjacent summaries exist");
+        assert_eq!(
+            hint.query,
+            crate::problem::Query::of("delay", &[("season", "Winter"), ("region", "East")])
+        );
+        assert_eq!(hint.utterance, "delay for region East and season Winter?");
+        // A fully-predicated query has no one-step extension.
+        let leaf = service.respond(&ServiceRequest::new("svc", "delay in Winter in the East?"));
+        assert!(leaf.answer.is_speech());
+        assert_eq!(leaf.follow_on, None);
+        // Help answers never carry hints.
+        assert_eq!(
+            service
+                .respond(&ServiceRequest::new("svc", "help"))
+                .follow_on,
+            None
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! only candidate generalizations instead of enumerating every predicate
 //! subset (or scanning the map). Speeches are stored behind [`Arc`], so
 //! lookups hand out references without deep-copying text and facts, and
-//! delta re-summarization (see [`crate::generator::refresh`]) can assert
+//! delta re-summarization (see
+//! [`crate::service::VoiceService::refresh_tenant`]) can assert
 //! pointer stability of untouched entries.
 
 use std::hash::BuildHasher;
@@ -257,7 +258,8 @@ impl SpeechStore {
 
     /// Drop every speech for a target column; returns how many were
     /// removed. Also forgets the target's recorded prior, so the next
-    /// [`crate::generator::refresh`] recomputes the target from scratch.
+    /// [`crate::service::VoiceService::refresh_tenant`] recomputes the
+    /// target from scratch.
     pub fn invalidate_target(&self, target: &str) -> usize {
         let mut removed = 0;
         for shard in self.shards.iter() {

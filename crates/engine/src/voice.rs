@@ -16,34 +16,14 @@ use parking_lot::RwLock;
 
 use crate::extensions::ExtremumIndex;
 use crate::nlq::{Extractor, Request};
-use crate::service::{
-    answer_request, Answer, RequestCounters, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT,
-};
+use crate::pipeline::{self, Exec, PipelineContext};
+use crate::service::{Answer, RequestCounters, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT};
 
 /// Monotonic source of session ids — process-wide, so ids stay unique
 /// (and stable for the session's lifetime) across services and tenants.
 static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
 use crate::store::SpeechStore;
 use crate::template::speaking_time_secs;
-
-/// What the system answered and how fast — the legacy stringly response.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `VoiceSession::answer` / `VoiceService::respond`, which return the typed \
-            `ServiceResponse`"
-)]
-#[derive(Debug, Clone, PartialEq)]
-pub struct VoiceResponse {
-    /// The classified request.
-    pub request: Request,
-    /// Spoken answer text.
-    pub text: String,
-    /// Lookup + classification latency in microseconds (time until the
-    /// system can start speaking).
-    pub latency_micros: u64,
-    /// Estimated speaking time of the answer, in seconds.
-    pub speaking_secs: f64,
-}
 
 /// A stateful voice session over one deployment. Each session carries a
 /// process-unique stable [`VoiceSession::id`], stamped into every
@@ -128,32 +108,43 @@ impl VoiceSession {
         self
     }
 
-    /// Handle one voice request through the typed answer pipeline.
-    /// `Repeat` replays the previous *answer* (not just its text), so
-    /// callers can still branch on the replayed structure.
+    /// Handle one voice request through the staged pipeline. `Repeat`
+    /// replays the previous *answer* (not just its text), so callers can
+    /// still branch on the replayed structure. Live-path plans execute
+    /// inline on the calling thread — sessions hold no pool handle.
     pub fn answer(&mut self, text: &str) -> ServiceResponse {
         let start = Instant::now();
         let shared = self.shared.as_ref().map(|runtime| runtime.read());
-        let (extractor, extensions) = match &shared {
+        let (extractor, extensions, live) = match &shared {
             // A session-local index set via `with_extensions` overrides
             // the tenant's; the extractor always follows the live
             // runtime so refreshed dictionaries apply mid-conversation.
             Some(runtime) => (
                 &runtime.extractor,
                 self.extensions.as_ref().or(runtime.extensions.as_ref()),
+                runtime.live.as_ref(),
             ),
-            None => (&self.extractor, self.extensions.as_ref()),
+            None => (&self.extractor, self.extensions.as_ref(), None),
         };
-        let request = extractor.classify(text);
-        let answer = match &request {
-            Request::Repeat => self.last.clone().unwrap_or(Answer::Help {
-                text: NOTHING_TO_REPEAT.to_string(),
-            }),
+        let analysis = pipeline::analyze::analyze(extractor, text);
+        let (answer, follow_on) = match &analysis.request {
+            Request::Repeat => (
+                self.last.clone().unwrap_or(Answer::Help {
+                    text: NOTHING_TO_REPEAT.to_string(),
+                }),
+                None,
+            ),
             _ => {
-                let answer =
-                    answer_request(&request, text, &self.store, &self.help_text, extensions);
+                let ctx = PipelineContext {
+                    store: &self.store,
+                    help_text: &self.help_text,
+                    extensions,
+                    live,
+                    exec: Exec::Inline,
+                };
+                let (answer, follow_on) = pipeline::answer(&analysis, text, &ctx);
                 self.last = Some(answer.clone());
-                answer
+                (answer, follow_on)
             }
         };
         drop(shared);
@@ -162,24 +153,12 @@ impl VoiceSession {
         }
         ServiceResponse {
             tenant: self.tenant.clone(),
-            request: Some(request),
+            request: Some(analysis.request),
             speaking_secs: speaking_time_secs(answer.text()),
+            follow_on,
             session: Some(self.id),
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
-        }
-    }
-
-    /// Handle one voice request, flattened to the legacy text response.
-    #[deprecated(since = "0.2.0", note = "use `VoiceSession::answer`")]
-    #[allow(deprecated)]
-    pub fn respond(&mut self, text: &str) -> VoiceResponse {
-        let response = self.answer(text);
-        VoiceResponse {
-            request: response.request.expect("sessions always classify"),
-            text: response.answer.text().to_string(),
-            latency_micros: response.latency_micros,
-            speaking_secs: response.speaking_secs,
         }
     }
 }
@@ -293,17 +272,6 @@ mod tests {
         assert!(matches!(response.request, Some(Request::Unsupported(_))));
         assert!(response.text().contains("compare"));
         assert!(matches!(response.answer, Answer::Unsupported { .. }));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_respond_shim_still_flattens_to_text() {
-        let store = store();
-        let mut session = session(&store);
-        let response = session.respond("cancellations in winter?");
-        assert!(response.text.contains("Winter"));
-        assert!(matches!(response.request, Request::Query(_)));
-        assert!(response.speaking_secs > 0.0);
     }
 
     #[test]

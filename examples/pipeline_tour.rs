@@ -1,0 +1,86 @@
+//! Staged pipeline tour: one utterance at a time through the
+//! tokenize → analyze → plan → execute chain, showing all three answer
+//! tiers — summary-store hits (with follow-on hints), live plans over
+//! the tenant's relational data, and the typed apology when neither
+//! tier can help.
+//!
+//! ```text
+//! cargo run --release --example pipeline_tour
+//! ```
+
+use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+
+fn main() -> Result<()> {
+    // A small air-traffic deployment: two dimensions, two targets.
+    let data = SynthSpec {
+        name: "air".to_string(),
+        dims: vec![
+            DimSpec::named("season", &["Winter", "Spring", "Summer", "Fall"]),
+            DimSpec::named("region", &["East", "West", "North"]),
+        ],
+        targets: vec![
+            TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0)),
+            TargetSpec::new("cancelled", 30.0, 10.0, 4.0, (0.0, 1000.0)),
+        ],
+        rows: 240,
+    }
+    .generate(0xA1, 1.0);
+
+    let service = ServiceBuilder::new().workers(2).build();
+    let report = service.register_dataset(
+        TenantSpec::new(
+            "air",
+            data,
+            Configuration::new("air", &["season", "region"], &["delay", "cancelled"]),
+        )
+        .target_synonyms("delay", &["delays"])
+        .unavailable_markers(&["flight"]),
+    )?;
+    println!(
+        "registered 'air': {} speeches in {:?}\n",
+        report.speeches, report.elapsed
+    );
+
+    // Tier 1: a single-predicate question hits the summary store and
+    // comes back with a follow-on hint pointing at an adjacent summary.
+    // Tier 2: compound, comparative, extremum, and counting questions
+    // miss the store but compile to a relational plan and execute live.
+    // Tier 3: questions about data the tenant never ingested get a
+    // typed apology instead of a wrong answer.
+    for utterance in [
+        "delay in Winter?",                       // store hit
+        "which season has the most delay",        // live extremum
+        "compare delay for Winter versus Summer", // live comparison
+        "how many delays in Winter",              // live count
+        "delay of flight UA one twenty three",    // apology
+        "help",                                   // chatter
+    ] {
+        let response = service.respond(&ServiceRequest::new("air", utterance));
+        println!("You:    {utterance}");
+        println!("System: {} [{}]", response.text(), response.label());
+        if let Answer::Computed { plan, value, .. } = &response.answer {
+            println!("        plan:  {plan:?}");
+            println!("        value: {value:?}");
+        }
+        if let Some(hint) = &response.follow_on {
+            println!("        follow-on: \"{}\"", hint.utterance);
+        }
+        println!();
+    }
+
+    // The counters distinguish store hits from live computed answers.
+    let stats = service.stats();
+    for tenant in &stats.tenants {
+        println!(
+            "tenant '{}': {} requests = {} speeches + {} computed + {} apologies + {} help/chatter",
+            tenant.tenant,
+            tenant.requests,
+            tenant.speech_answers,
+            tenant.computed_answers,
+            tenant.unsupported_answers,
+            tenant.help_answers,
+        );
+    }
+    Ok(())
+}
