@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Worker-parity gate over a BENCH_solver.json (schema v2) file.
+
+With the adaptive fan-out gate and the pool-backed executor, granting
+eight workers must never make the pinned exact-search scenarios slower
+than one worker beyond noise. The regression this guards against:
+per-search scoped-thread spawns costing ~8x on microsecond-scale search
+trees (the v1 baseline showed exact-8w at 4.18 ms vs exact-1w at
+0.49 ms on A-H). Entries are already best-of-N batches; the 1.1x
+tolerance covers residual scheduler jitter.
+
+Usage: check_worker_parity.py BENCH_solver.json
+"""
+
+import json
+import sys
+
+TOLERANCE = 1.1
+
+
+def main(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    exact = {
+        (entry["scenario"], entry["workers"]): entry["wall_ms"]
+        for entry in data["entries"]
+        if entry["algorithm"] == "E"
+    }
+    scenarios = sorted({scenario for scenario, _ in exact})
+    if not scenarios:
+        raise SystemExit("no exact-solver entries found in " + path)
+    failures = []
+    for scenario in scenarios:
+        one = exact[(scenario, 1)]
+        eight = exact[(scenario, 8)]
+        ratio = eight / one if one > 0 else 0.0
+        print(
+            f"{scenario}: exact-1w {one:.3f} ms, exact-8w {eight:.3f} ms, "
+            f"ratio {ratio:.3f}"
+        )
+        if eight > TOLERANCE * one:
+            failures.append(scenario)
+    if failures:
+        raise SystemExit(
+            f"exact-8w slower than exact-1w beyond {TOLERANCE}x on: {failures}"
+        )
+    print("worker parity OK")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    main(sys.argv[1])

@@ -1,11 +1,23 @@
 //! Solver perf trajectory recorder: measures greedy and exact wall-times
-//! on pinned scenarios plus the indexed-vs-scan kernel sweep, and emits
-//! `BENCH_solver.json`. CI runs it as a smoke step (the output must be
-//! valid JSON; no thresholds are enforced — the committed baselines form
-//! the trajectory across PRs).
+//! on pinned scenarios plus the indexed-vs-scan kernel sweeps, and emits
+//! `BENCH_solver.json` (schema `vqs-bench-solver/v2`). CI runs it as a
+//! smoke step and additionally parses the exact-solver entries for
+//! worker parity: with the adaptive fan-out gate, granting eight workers
+//! must not make the pinned (µs-scale) scenarios slower than one worker
+//! beyond noise. The committed baselines form the trajectory across PRs.
+//!
+//! Schema v2 changes over v1:
+//! - exact entries appear at workers 1, 2, and 8, the multi-worker runs
+//!   routed through a long-lived [`SolverPool`] (the service's executor)
+//!   instead of per-search scoped threads — each entry carries an
+//!   `executor` field (`"scoped"` or `"pool"`);
+//! - the kernel section adds the grouped gain sweep
+//!   (`FactCatalog::group_gains` with its cached per-row deviations)
+//!   next to the per-fact CSR sweep, with speedups for both.
 //!
 //! Usage: `bench_solver [--out PATH] [--scale X] [--queries N]`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use vqs_bench::{run_batch, sample_items, scenario_dataset, single_target_config, RunConfig};
@@ -17,6 +29,7 @@ struct Entry {
     scenario: String,
     algorithm: String,
     workers: usize,
+    executor: &'static str,
     queries: usize,
     solved: usize,
     wall_ms: f64,
@@ -59,6 +72,9 @@ fn main() {
         }
     }
 
+    // The multi-worker exact runs ride one long-lived pool, exactly like
+    // the service: no per-search thread spawns in the measured region.
+    let pool: Arc<SolverPool> = Arc::new(SolverPool::new(8));
     let mut entries: Vec<Entry> = Vec::new();
     for (name, letter, target) in PINNED {
         let dataset = scenario_dataset(letter, &config);
@@ -68,66 +84,141 @@ fn main() {
             enumerate_queries(&relation, &engine_config, target),
             config.query_limit,
         );
-        let algorithms: Vec<(&str, usize, Box<dyn Summarizer>)> = vec![
-            ("G-B", 1, Box::new(GreedySummarizer::base())),
+        let algorithms: Vec<(&str, usize, &'static str, Box<dyn Summarizer>)> = vec![
+            ("G-B", 1, "scoped", Box::new(GreedySummarizer::base())),
             (
                 "G-O",
                 1,
+                "scoped",
                 Box::new(GreedySummarizer::with_optimized_pruning()),
             ),
-            ("E", 1, Box::new(ExactSummarizer::paper())),
-            ("E", 8, Box::new(ExactSummarizer::with_workers(8))),
+            ("E", 1, "scoped", Box::new(ExactSummarizer::paper())),
+            (
+                "E",
+                2,
+                "pool",
+                Box::new(
+                    ExactSummarizer::with_workers(2)
+                        .on_executor(Arc::clone(&pool) as Arc<dyn SearchExecutor>),
+                ),
+            ),
+            (
+                "E",
+                8,
+                "pool",
+                Box::new(
+                    ExactSummarizer::with_workers(8)
+                        .on_executor(Arc::clone(&pool) as Arc<dyn SearchExecutor>),
+                ),
+            ),
         ];
-        for (algorithm, workers, summarizer) in algorithms {
-            let outcome = run_batch(
-                &relation,
-                &engine_config,
-                summarizer.as_ref(),
-                &items,
-                config.timeout,
-            );
+        // Best of repeated batches, interleaved round-robin across the
+        // algorithm variants: the CI parity gate compares the 1- and
+        // 8-worker exact entries at a 1.1× tolerance, and the smallest
+        // batches run in the hundreds of microseconds where a single
+        // scheduler hiccup would swamp the signal. Interleaving keeps a
+        // slow machine period (shared runners throttle in multi-second
+        // waves) from landing on one variant's entire sample; repeating
+        // until ≥20 ms accumulates per variant (at least 5, at most 40
+        // rounds) gives µs-scale scenarios enough samples for the
+        // minimum to reach the noise floor.
+        let mut best: Vec<Option<(usize, f64)>> = vec![None; algorithms.len()];
+        let mut totals = vec![0.0f64; algorithms.len()];
+        let mut rounds = 0;
+        while rounds < 5 || (totals.iter().any(|&ms| ms < 20.0) && rounds < 40) {
+            for (slot, (_, _, _, summarizer)) in algorithms.iter().enumerate() {
+                let outcome = run_batch(
+                    &relation,
+                    &engine_config,
+                    summarizer.as_ref(),
+                    &items,
+                    config.timeout,
+                );
+                let wall_ms = outcome.elapsed.as_secs_f64() * 1e3;
+                totals[slot] += wall_ms;
+                if best[slot].is_none_or(|(_, ms)| wall_ms < ms) {
+                    best[slot] = Some((outcome.solved(), wall_ms));
+                }
+            }
+            rounds += 1;
+        }
+        for ((algorithm, workers, executor, _), best) in algorithms.iter().zip(best) {
+            let (solved, wall_ms) = best.expect("at least one round ran");
             entries.push(Entry {
                 scenario: name.to_string(),
                 algorithm: algorithm.to_string(),
-                workers,
+                workers: *workers,
+                executor,
                 queries: items.len(),
-                solved: outcome.solved(),
-                wall_ms: outcome.elapsed.as_secs_f64() * 1e3,
+                solved,
+                wall_ms,
             });
         }
     }
 
-    // Kernel sweep: gains of every candidate fact, scan vs indexed, on
-    // the full flights catalog.
+    // Kernel sweeps on the full flights catalog: gains of every
+    // candidate fact via (a) the original full scan, (b) the per-fact
+    // CSR inverted index, (c) the grouped pass with cached per-row
+    // deviations (the greedy sweep's actual inner loop).
     let dataset = scenario_dataset('F', &config);
     let engine_config = single_target_config(&dataset, "cancelled");
     let relation = target_relation(&dataset, &engine_config, "cancelled").expect("flights");
     let catalog = FactCatalog::build(&relation, &(0..relation.dim_count()).collect::<Vec<_>>(), 2)
         .expect("flights catalog");
     let state = ResidualState::new(&relation);
-    let reps = 5;
-    let start = Instant::now();
+    // Minimum over repetitions — the standard noise floor for µs-scale
+    // sweeps (any rep can only be slowed down by interference, never
+    // sped up past the true cost).
+    let reps = 7;
+    let mut scan_ms = f64::INFINITY;
     let mut scan_sum = 0.0;
     for _ in 0..reps {
+        let start = Instant::now();
+        let mut sum = 0.0;
         for fact in catalog.facts() {
-            scan_sum += state.gain_of(&relation, fact);
+            sum += state.gain_of(&relation, fact);
         }
+        scan_ms = scan_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        scan_sum = sum;
     }
-    let scan_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
-    let start = Instant::now();
+    let mut indexed_ms = f64::INFINITY;
     let mut indexed_sum = 0.0;
     for _ in 0..reps {
+        let start = Instant::now();
+        let mut sum = 0.0;
         for id in 0..catalog.len() {
-            indexed_sum += state.gain_indexed(catalog.fact_rows(id), catalog.fact_devs(id));
+            sum += state.gain_indexed(catalog.fact_rows(id), catalog.fact_devs(id));
         }
+        indexed_ms = indexed_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        indexed_sum = sum;
     }
-    let indexed_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let mut grouped_ms = f64::INFINITY;
+    let mut grouped_sum = 0.0;
+    let mut counters = Instrumentation::default();
+    let mut gains = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut sum = 0.0;
+        for group in 0..catalog.groups().len() {
+            catalog.group_gains_into(&relation, &state, group, &mut counters, &mut gains);
+            sum += gains.iter().sum::<f64>();
+        }
+        grouped_ms = grouped_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        grouped_sum = sum;
+    }
+    // Relative tolerance: the unrolled kernels reassociate additions, so
+    // the agreement bound must scale with the magnitude of the totals.
+    let tolerance = 1e-9 * (1.0 + scan_sum.abs());
     assert!(
-        (scan_sum - indexed_sum).abs() < 1e-6 * reps as f64,
+        (scan_sum - indexed_sum).abs() < tolerance,
         "kernel mismatch: scan {scan_sum} vs indexed {indexed_sum}"
     );
+    assert!(
+        (scan_sum - grouped_sum).abs() < tolerance,
+        "kernel mismatch: scan {scan_sum} vs grouped {grouped_sum}"
+    );
 
-    let json = render_json(&config, &entries, &catalog, scan_ms, indexed_ms);
+    let json = render_json(&config, &entries, &catalog, scan_ms, indexed_ms, grouped_ms);
     match out {
         Some(path) => {
             std::fs::write(&path, &json).expect("write BENCH_solver.json");
@@ -143,10 +234,12 @@ fn render_json(
     catalog: &FactCatalog,
     scan_ms: f64,
     indexed_ms: f64,
+    grouped_ms: f64,
 ) -> String {
+    let speedup = |fast: f64| if fast > 0.0 { scan_ms / fast } else { 9999.0 };
     let mut lines = Vec::new();
     lines.push("{".to_string());
-    lines.push("  \"schema\": \"vqs-bench-solver/v1\",".to_string());
+    lines.push("  \"schema\": \"vqs-bench-solver/v2\",".to_string());
     lines.push(format!("  \"scale\": {},", config.scale));
     lines.push(format!("  \"query_limit\": {},", config.query_limit));
     lines.push("  \"entries\": [".to_string());
@@ -154,23 +247,25 @@ fn render_json(
         let comma = if i + 1 == entries.len() { "" } else { "," };
         lines.push(format!(
             "    {{\"scenario\": \"{}\", \"algorithm\": \"{}\", \"workers\": {}, \
-             \"queries\": {}, \"solved\": {}, \"wall_ms\": {:.3}}}{}",
-            e.scenario, e.algorithm, e.workers, e.queries, e.solved, e.wall_ms, comma
+             \"executor\": \"{}\", \"queries\": {}, \"solved\": {}, \"wall_ms\": {:.3}}}{}",
+            e.scenario, e.algorithm, e.workers, e.executor, e.queries, e.solved, e.wall_ms, comma
         ));
     }
     lines.push("  ],".to_string());
     lines.push("  \"kernel\": {".to_string());
     lines.push(format!("    \"facts\": {},", catalog.len()));
     lines.push(format!("    \"rows\": {},", catalog.rows()));
+    lines.push(format!("    \"groups\": {},", catalog.groups().len()));
     lines.push(format!("    \"gain_sweep_scan_ms\": {scan_ms:.3},"));
     lines.push(format!("    \"gain_sweep_indexed_ms\": {indexed_ms:.3},"));
+    lines.push(format!("    \"gain_sweep_grouped_ms\": {grouped_ms:.3},"));
     lines.push(format!(
-        "    \"speedup\": {:.2}",
-        if indexed_ms > 0.0 {
-            scan_ms / indexed_ms
-        } else {
-            9999.0
-        }
+        "    \"indexed_speedup\": {:.2},",
+        speedup(indexed_ms)
+    ));
+    lines.push(format!(
+        "    \"grouped_speedup\": {:.2}",
+        speedup(grouped_ms)
     ));
     lines.push("  }".to_string());
     lines.push("}".to_string());

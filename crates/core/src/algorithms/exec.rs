@@ -1,0 +1,119 @@
+//! Executor abstraction for the solver's inner fan-out.
+//!
+//! The exact search (and optionally the greedy group sweep) fans work
+//! units over multiple threads. Where those threads come from is a
+//! deployment concern, not an algorithm concern: a standalone experiment
+//! is happy spawning scoped threads per search, while the serving engine
+//! wants every search to ride its long-lived worker pool so no request
+//! pays thread-spawn latency. [`SearchExecutor`] is the seam between the
+//! two — `vqs-core` codes against the trait, and the engine implements it
+//! for its pool (`vqs-engine`'s `SolverPool`) without `vqs-core` ever
+//! depending on the engine.
+//!
+//! The contract is deliberately minimal: [`SearchExecutor::run`] must
+//! invoke `task(i)` exactly once for every `i in 0..tasks` and return
+//! only after all invocations finished. Tasks may run on any thread, in
+//! any order, with any degree of concurrency — including entirely inline
+//! on the calling thread. The solver's determinism never depends on the
+//! schedule: worker outputs are reduced with commutative merges and a
+//! deterministic second pass (see `exact.rs`).
+
+use std::sync::Mutex;
+
+/// A provider of bounded, blocking fan-out for search workers.
+pub trait SearchExecutor: Send + Sync {
+    /// Upper bound on useful concurrency (e.g. the pool's worker count).
+    /// Used to resolve a "use all available workers" configuration.
+    fn max_workers(&self) -> usize;
+
+    /// Invoke `task(i)` exactly once for each `i in 0..tasks`, returning
+    /// after every invocation completed. Implementations may run tasks
+    /// concurrently on other threads or sequentially on the caller.
+    fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// The default executor: scoped threads spawned per call.
+///
+/// Task 0 runs on the calling thread, so `run(n, _)` spawns `n − 1`
+/// threads and a single-task fan-out spawns none.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScopedExecutor;
+
+impl SearchExecutor for ScopedExecutor {
+    fn max_workers(&self) -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        match tasks {
+            0 => {}
+            1 => task(0),
+            _ => std::thread::scope(|scope| {
+                for i in 1..tasks {
+                    scope.spawn(move || task(i));
+                }
+                task(0);
+            }),
+        }
+    }
+}
+
+/// Run `tasks` closures on `executor` and collect each one's output.
+///
+/// The executor contract says nothing about completion *order*, so the
+/// outputs come back unordered alongside their task index. Callers that
+/// need determinism must either reduce commutatively or sort by index.
+pub fn run_collect<T: Send>(
+    executor: &dyn SearchExecutor,
+    tasks: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<(usize, T)> {
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+    executor.run(tasks, &|i| {
+        let value = task(i);
+        results
+            .lock()
+            .expect("executor result sink poisoned")
+            .push((i, value));
+    });
+    results.into_inner().expect("executor result sink poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_executor_runs_each_task_once() {
+        let hits = AtomicUsize::new(0);
+        ScopedExecutor.run(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scoped_executor_handles_degenerate_widths() {
+        let hits = AtomicUsize::new(0);
+        ScopedExecutor.run(0, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        ScopedExecutor.run(1, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(ScopedExecutor.max_workers() >= 1);
+    }
+
+    #[test]
+    fn run_collect_returns_every_task_output() {
+        let mut out = run_collect(&ScopedExecutor, 6, |i| i * i);
+        out.sort_by_key(|&(i, _)| i);
+        let values: Vec<usize> = out.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(values, vec![0, 1, 4, 9, 16, 25]);
+    }
+}

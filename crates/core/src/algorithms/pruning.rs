@@ -90,14 +90,75 @@ pub fn select_best_fact_with_plan(
         }
     };
 
+    let mut scratch = Vec::new();
     match plan {
         None => {
             for g in 0..groups.len() {
-                consider(best_in_group(problem, residual, g, counters), &mut best);
+                consider(
+                    best_in_group(problem, residual, g, counters, &mut scratch),
+                    &mut best,
+                );
             }
         }
         Some(plan) => {
-            run_plan(problem, residual, plan, counters, &mut best, &mut consider);
+            run_plan(
+                problem,
+                residual,
+                plan,
+                counters,
+                &mut scratch,
+                &mut best,
+                &mut consider,
+            );
+        }
+    }
+    best.filter(|&(_, gain)| gain > 0.0)
+}
+
+/// Pruning-off fact selection with the group sweep fanned over
+/// `executor`: every group's gain pass is independent, so tasks sweep
+/// strided subsets of the groups and the reduction below re-walks the
+/// per-group winners in ascending group order. That reduction applies
+/// the same strict-maximum rule as the sequential scan, so the selected
+/// fact is identical for every worker count.
+pub fn select_best_fact_parallel(
+    problem: &Problem<'_>,
+    residual: &ResidualState,
+    executor: &dyn crate::algorithms::exec::SearchExecutor,
+    workers: usize,
+    counters: &mut Instrumentation,
+) -> Option<(FactId, f64)> {
+    let groups = problem.catalog.groups().len();
+    let fan = workers.min(groups).max(1);
+    if fan <= 1 {
+        return select_best_fact_with_plan(problem, residual, None, counters);
+    }
+    let outputs = crate::algorithms::exec::run_collect(executor, fan, |t| {
+        let mut local = Instrumentation::default();
+        let mut scratch = Vec::new();
+        let mut found: Vec<(usize, Option<(FactId, f64)>)> = Vec::new();
+        let mut g = t;
+        while g < groups {
+            found.push((
+                g,
+                best_in_group(problem, residual, g, &mut local, &mut scratch),
+            ));
+            g += fan;
+        }
+        (found, local)
+    });
+    let mut per_group: Vec<Option<(FactId, f64)>> = vec![None; groups];
+    for (_, (found, local)) in outputs {
+        // Counter merging is commutative, so collection order is moot.
+        counters.merge(&local);
+        for (g, candidate) in found {
+            per_group[g] = candidate;
+        }
+    }
+    let mut best: Option<(FactId, f64)> = None;
+    for (id, gain) in per_group.into_iter().flatten() {
+        if best.is_none_or(|(_, g)| gain > g) {
+            best = Some((id, gain));
         }
     }
     best.filter(|&(_, gain)| gain > 0.0)
@@ -108,6 +169,7 @@ fn run_plan(
     residual: &ResidualState,
     plan: &PlanCandidate,
     counters: &mut Instrumentation,
+    scratch: &mut Vec<f64>,
     best: &mut Option<(FactId, f64)>,
     consider: &mut impl FnMut(Option<(FactId, f64)>, &mut Option<(FactId, f64)>),
 ) {
@@ -118,7 +180,7 @@ fn run_plan(
     // Line 9: utility for the pruning sources; m is their best gain.
     let mut threshold = 0.0f64;
     for &s in &plan.sources {
-        let candidate = best_in_group(problem, residual, s, counters);
+        let candidate = best_in_group(problem, residual, s, counters, scratch);
         if let Some((_, gain)) = candidate {
             threshold = threshold.max(gain);
         }
@@ -146,7 +208,7 @@ fn run_plan(
                 }
             }
         } else {
-            let candidate = best_in_group(problem, residual, t, counters);
+            let candidate = best_in_group(problem, residual, t, counters, scratch);
             if let Some((_, gain)) = candidate {
                 threshold = threshold.max(gain);
             }
@@ -158,27 +220,29 @@ fn run_plan(
     // Line 24: utility for the surviving groups.
     for g in 0..groups.len() {
         if alive[g] && !evaluated[g] {
-            consider(best_in_group(problem, residual, g, counters), best);
+            consider(best_in_group(problem, residual, g, counters, scratch), best);
         }
     }
 }
 
-/// Gains of one group; returns its best fact.
+/// Gains of one group; returns its best fact. `scratch` is a reusable
+/// gains buffer so a sweep over many groups allocates once.
 fn best_in_group(
     problem: &Problem<'_>,
     residual: &ResidualState,
     group: usize,
     counters: &mut Instrumentation,
+    scratch: &mut Vec<f64>,
 ) -> Option<(FactId, f64)> {
-    let gains = problem
+    problem
         .catalog
-        .group_gains(problem.relation, residual, group, counters);
+        .group_gains_into(problem.relation, residual, group, counters, scratch);
     let start = problem.catalog.groups()[group].fact_start;
-    gains
-        .into_iter()
+    scratch
+        .iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| a.total_cmp(b))
-        .map(|(offset, gain)| (start + offset, gain))
+        .map(|(offset, &gain)| (start + offset, gain))
 }
 
 #[cfg(test)]

@@ -39,6 +39,12 @@ pub struct FactGroup {
     /// Per-row fact offset within the group: row `r` falls within the scope
     /// of exactly the fact `fact_start + row_fact[r]`.
     row_fact: Vec<u32>,
+    /// Row-aligned deviation cache: `row_devs[r]` is
+    /// `|value(fact_of_row(r)) − target(r)|`. Materialized once at build
+    /// time so the per-iteration gain pass reads three contiguous f64/u32
+    /// streams instead of gathering fact values and re-deriving the
+    /// deviation per row.
+    row_devs: Vec<f64>,
 }
 
 impl FactGroup {
@@ -51,6 +57,12 @@ impl FactGroup {
     /// Fact ids of this group.
     pub fn fact_ids(&self) -> std::ops::Range<FactId> {
         self.fact_start..self.fact_start + self.fact_count
+    }
+
+    /// The row-aligned deviation cache (`|value(fact_of_row(r)) − target(r)|`
+    /// per row), the dense operand of the gain partition pass.
+    pub fn row_devs(&self) -> &[f64] {
+        &self.row_devs
     }
 }
 
@@ -209,20 +221,104 @@ impl FactCatalog {
         group: usize,
         counters: &mut Instrumentation,
     ) -> Vec<f64> {
+        let mut gains = Vec::new();
+        self.group_gains_into(relation, residual, group, counters, &mut gains);
+        gains
+    }
+
+    /// [`FactCatalog::group_gains`] into a caller-owned buffer, for sweeps
+    /// that evaluate many groups per iteration (the greedy inner loop):
+    /// the buffer is cleared and refilled, so one allocation serves the
+    /// whole sweep instead of one per group.
+    pub fn group_gains_into(
+        &self,
+        relation: &EncodedRelation,
+        residual: &ResidualState,
+        group: usize,
+        counters: &mut Instrumentation,
+        gains: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(relation.len(), self.rows);
         let group = &self.groups[group];
-        let mut gains = vec![0.0f64; group.fact_count];
-        let facts = &self.facts[group.fact_start..group.fact_start + group.fact_count];
-        for row in 0..self.rows {
-            let offset = group.row_fact[row] as usize;
-            let dev = (facts[offset].value - relation.target(row)).abs();
-            let improvement = residual.residual(row) - dev;
-            if improvement > 0.0 {
-                gains[offset] += improvement;
+        gains.clear();
+        gains.resize(group.fact_count, 0.0);
+        let residuals = residual.residuals();
+        if group.fact_count == 1 {
+            // Single-fact group (e.g. the overall average): a pure
+            // reduction over two contiguous streams — 4-way unrolled with
+            // independent accumulators and a branchless clamp, the same
+            // shape as `ResidualState::gain_indexed`. The reordered
+            // summation may differ from the sequential pass by rounding
+            // (gain estimates tolerate that; see the differential tests).
+            let devs = &group.row_devs[..];
+            let chunks = self.rows / 4;
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for c in 0..chunks {
+                let b = c * 4;
+                a0 += (residuals[b] - devs[b]).max(0.0);
+                a1 += (residuals[b + 1] - devs[b + 1]).max(0.0);
+                a2 += (residuals[b + 2] - devs[b + 2]).max(0.0);
+                a3 += (residuals[b + 3] - devs[b + 3]).max(0.0);
+            }
+            let mut tail = 0.0f64;
+            for r in chunks * 4..self.rows {
+                tail += (residuals[r] - devs[r]).max(0.0);
+            }
+            gains[0] = (a0 + a1) + (a2 + a3) + tail;
+        } else {
+            // Per-fact gather over the catalog's CSR inverted index: the
+            // group's facts partition the rows, so this touches each row
+            // exactly once — the same totals as a row-order partition
+            // pass — but every add lands in a register accumulator
+            // instead of a `gains[offset]` slot, so there is no serial
+            // load-add-store chain through memory. Four independent
+            // accumulators per fact expose ILP; the branchless clamp
+            // adds +0.0 for non-improving rows (the additive identity
+            // for these finite non-negative streams). Summation order
+            // differs from the scan by reassociation only — gains are
+            // selection estimates with tolerance-checked consumers (see
+            // the differential tests), while `apply_indexed`, which
+            // determines search state, stays strictly sequential.
+            assert_eq!(residuals.len(), self.rows);
+            for (slot, fact) in group.fact_ids().enumerate() {
+                let lo = self.index_offsets[fact];
+                let hi = self.index_offsets[fact + 1];
+                let len = hi - lo;
+                let chunks = len / 4;
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                // SAFETY: `build_inverted_index` fills `index_rows` with
+                // row ids drawn from `0..relation.len()` (validated as
+                // `self.rows` above, the length of `residuals`),
+                // `index_devs` is aligned with `index_rows`, and the
+                // CSR offsets are a prefix sum bounded by their lengths.
+                unsafe {
+                    for c in 0..chunks {
+                        let b = lo + c * 4;
+                        let rows = &self.index_rows;
+                        let devs = &self.index_devs;
+                        a0 += (residuals.get_unchecked(*rows.get_unchecked(b) as usize)
+                            - devs.get_unchecked(b))
+                        .max(0.0);
+                        a1 += (residuals.get_unchecked(*rows.get_unchecked(b + 1) as usize)
+                            - devs.get_unchecked(b + 1))
+                        .max(0.0);
+                        a2 += (residuals.get_unchecked(*rows.get_unchecked(b + 2) as usize)
+                            - devs.get_unchecked(b + 2))
+                        .max(0.0);
+                        a3 += (residuals.get_unchecked(*rows.get_unchecked(b + 3) as usize)
+                            - devs.get_unchecked(b + 3))
+                        .max(0.0);
+                    }
+                }
+                let mut tail = 0.0f64;
+                for k in lo + chunks * 4..hi {
+                    tail += (residuals[self.index_rows[k] as usize] - self.index_devs[k]).max(0.0);
+                }
+                gains[slot] = (a0 + a1) + (a2 + a3) + tail;
             }
         }
         counters.gain_passes += 1;
         counters.gain_row_touches += self.rows as u64;
-        gains
     }
 
     /// Per-fact upper bounds on utility gain for one group: the summed
@@ -408,12 +504,27 @@ fn build_group(
         let scope = Scope::from_pairs(&pairs)?;
         facts.push(Fact::new(scope, sum / *count as f64, *count));
     }
+    let row_devs: Vec<f64> = row_fact
+        .iter()
+        .enumerate()
+        .map(|(row, &offset)| {
+            (facts[fact_start + offset as usize].value - relation.target(row)).abs()
+        })
+        .collect();
+    // Validate the row→fact partition once at build time: the bound pass
+    // and the inverted-index build index per-fact arrays by these offsets,
+    // and the CSR slices that `group_gains` walks unchecked are derived
+    // from them.
+    assert!(row_fact
+        .iter()
+        .all(|&offset| (offset as usize) < sums.len()));
     Ok(FactGroup {
         mask,
         cols: cols.to_vec(),
         fact_start,
         fact_count: sums.len(),
         row_fact,
+        row_devs,
     })
 }
 

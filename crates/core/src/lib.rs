@@ -57,7 +57,8 @@ pub mod relational;
 pub mod prelude {
     pub use crate::algorithms::{
         BruteForceSummarizer, ExactSummarizer, FactPruning, GreedySummarizer, Problem,
-        PruneOptimizerConfig, Summarizer, Summary,
+        PruneOptimizerConfig, ScopedExecutor, SearchExecutor, Summarizer, Summary,
+        DEFAULT_FAN_OUT_THRESHOLD,
     };
     pub use crate::enumeration::{FactCatalog, FactGroup};
     pub use crate::error::{CoreError, Result};

@@ -1,14 +1,19 @@
 //! Differential tests of the indexed solver hot path.
 //!
-//! Two invariants protect the ISSUE-3 optimizations:
+//! Three invariants protect the indexed-kernel and parallel-search
+//! optimizations:
 //!
 //! 1. The catalog's CSR inverted-index kernel
 //!    (`gain_indexed`/`apply_indexed`/`revert_frame`) agrees with the
 //!    original full-scan implementations (`gain_of`/`apply_fact`/`revert`)
-//!    on random relations, and reverts are bit-exact.
+//!    on random relations, and reverts are bit-exact. The unrolled
+//!    (auto-vectorizable) `gain_indexed` sweep additionally agrees with
+//!    the single-accumulator `gain_indexed_scalar` ground truth to 1e-9
+//!    (its four partial sums reassociate the additions).
 //! 2. The parallel exact search returns the same speech as the sequential
 //!    search — utility, chosen facts, and timeout flag — for any worker
-//!    count.
+//!    count, on both sides of the adaptive fan-out gate and for scoped
+//!    as well as custom executors.
 
 use proptest::prelude::*;
 
@@ -94,26 +99,60 @@ proptest! {
         prop_assert_eq!(arena.depth(), 0);
     }
 
+    // The unrolled four-accumulator gain sweep agrees with the
+    // single-accumulator scalar ground truth on every fact, from the
+    // initial residuals and after random applies.
+    #[test]
+    fn vectorized_gain_sweep_matches_scalar_sweep(relation in arb_relation(), picks in prop::collection::vec(0usize..64, 0..3)) {
+        let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
+        let mut state = ResidualState::new(&relation);
+        let mut arena = UndoArena::new();
+        for pick in picks {
+            let id = pick % catalog.len();
+            state.apply_indexed(catalog.fact_rows(id), catalog.fact_devs(id), &mut arena);
+        }
+        for id in 0..catalog.len() {
+            let unrolled = state.gain_indexed(catalog.fact_rows(id), catalog.fact_devs(id));
+            let scalar = state.gain_indexed_scalar(catalog.fact_rows(id), catalog.fact_devs(id));
+            prop_assert!((unrolled - scalar).abs() < 1e-9, "fact {id}: {unrolled} vs {scalar}");
+        }
+    }
+
     // The parallel exact search is byte-identical to the sequential one:
     // same utility bits, same chosen facts, same timeout flag, for
-    // workers ∈ {1, 2, 8}.
+    // workers ∈ {0, 1, 2, 8} — with the fan-out forced *on*
+    // (`fan_out_threshold: 0`) so the parallel machinery actually runs,
+    // and forced *off* (`usize::MAX`) so the adaptive gate's sequential
+    // route is provably the same search. The default threshold sits
+    // between those extremes, so both sides of the gate boundary are
+    // covered.
     #[test]
     fn parallel_exact_equals_sequential(relation in arb_relation(), max_facts in 1usize..4) {
         let catalog = FactCatalog::build(&relation, &[0, 1], 2).unwrap();
         let problem = Problem::new(&relation, &catalog, max_facts).unwrap();
         let sequential = ExactSummarizer::paper().summarize(&problem).unwrap();
-        for workers in [1usize, 2, 8] {
-            let parallel = ExactSummarizer::with_workers(workers)
+        for workers in [0usize, 1, 2, 8] {
+            for fan_out_threshold in [0usize, usize::MAX] {
+                let parallel = ExactSummarizer {
+                    workers,
+                    fan_out_threshold,
+                    ..ExactSummarizer::paper()
+                }
                 .summarize(&problem)
                 .unwrap();
-            prop_assert_eq!(
-                parallel.utility.to_bits(),
-                sequential.utility.to_bits(),
-                "workers {}", workers
-            );
-            prop_assert_eq!(parallel.speech.facts(), sequential.speech.facts(), "workers {}", workers);
-            prop_assert_eq!(parallel.timed_out, sequential.timed_out);
-            prop_assert_eq!(parallel.base_error.to_bits(), sequential.base_error.to_bits());
+                prop_assert_eq!(
+                    parallel.utility.to_bits(),
+                    sequential.utility.to_bits(),
+                    "workers {} threshold {}", workers, fan_out_threshold
+                );
+                prop_assert_eq!(
+                    parallel.speech.facts(),
+                    sequential.speech.facts(),
+                    "workers {} threshold {}", workers, fan_out_threshold
+                );
+                prop_assert_eq!(parallel.timed_out, sequential.timed_out);
+                prop_assert_eq!(parallel.base_error.to_bits(), sequential.base_error.to_bits());
+            }
         }
     }
 

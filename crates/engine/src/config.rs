@@ -62,7 +62,15 @@ pub struct Configuration {
     /// branch-and-bound fan-out). Default 1: pre-processing already runs
     /// one problem per pool worker, so nested parallelism only pays off
     /// when a single huge instance dominates (or when solving
-    /// interactively). `0` = all available cores.
+    /// interactively). `0` = the executor's maximum (all cores for the
+    /// scoped default, the pool size when the fan-out rides the shared
+    /// [`crate::service::SolverPool`]). Even with workers granted, tiny
+    /// instances still solve sequentially: the solver estimates its tree
+    /// as `facts × speech_length` and fans out only past
+    /// `ExactSummarizer::fan_out_threshold` (default
+    /// `DEFAULT_FAN_OUT_THRESHOLD = 4096`), so fan-out overhead can never
+    /// make a µs-scale search slower. Results are byte-identical for
+    /// every worker count.
     pub solver_workers: usize,
 }
 

@@ -231,6 +231,21 @@ pub fn configured_exact(config: &Configuration) -> ExactSummarizer {
     }
 }
 
+/// [`configured_exact`] with its inner branch-and-bound fan-out routed
+/// through `executor` (the service installs its shared [`SolverPool`]
+/// here, so searches reuse the long-lived workers instead of spawning
+/// scoped threads per search). Searches that are themselves running on a
+/// pool worker — every pre-processing job — execute their batch inline,
+/// so the nesting cannot deadlock and the cross-query parallelism stays
+/// in charge. Stored speeches remain byte-identical to the scoped and
+/// sequential paths.
+pub fn configured_exact_on(
+    config: &Configuration,
+    executor: std::sync::Arc<dyn SearchExecutor>,
+) -> ExactSummarizer {
+    configured_exact(config).on_executor(executor)
+}
+
 /// Solve one work item into a stored speech.
 pub fn solve_item<S: Summarizer + ?Sized>(
     relation: &EncodedRelation,

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use crate::error::{EngineError, Result};
     pub use crate::extensions::{ExtremumIndex, GroupAverage};
     pub use crate::generator::{
-        configured_exact, enumerate_queries, solve_item, target_relation, PreprocessOptions,
-        PreprocessReport, RefreshReport, WorkItem,
+        configured_exact, configured_exact_on, enumerate_queries, solve_item, target_relation,
+        PreprocessOptions, PreprocessReport, RefreshReport, WorkItem,
     };
     pub use crate::logsim::{
         complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,

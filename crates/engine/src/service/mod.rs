@@ -529,10 +529,15 @@ impl ServiceStats {
     }
 }
 
+/// Deferred summarizer construction: the algorithm may want a handle to
+/// the service's pool (built later, in [`ServiceBuilder::build`]) to
+/// route its inner search fan-out through it.
+type SummarizerFactory = Box<dyn FnOnce(Arc<SolverPool>) -> Arc<dyn Summarizer + Send + Sync>>;
+
 /// Configures and builds a [`VoiceService`].
 pub struct ServiceBuilder {
     workers: usize,
-    summarizer: Option<Arc<dyn Summarizer + Send + Sync>>,
+    summarizer: Option<SummarizerFactory>,
 }
 
 impl Default for ServiceBuilder {
@@ -545,7 +550,7 @@ impl std::fmt::Debug for ServiceBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceBuilder")
             .field("workers", &self.workers)
-            .field("summarizer", &self.summarizer.as_ref().map(|s| s.name()))
+            .field("summarizer", &self.summarizer.is_some())
             .finish()
     }
 }
@@ -572,7 +577,8 @@ impl ServiceBuilder {
         mut self,
         summarizer: impl Summarizer + Send + Sync + 'static,
     ) -> ServiceBuilder {
-        self.summarizer = Some(Arc::new(summarizer));
+        let shared: Arc<dyn Summarizer + Send + Sync> = Arc::new(summarizer);
+        self.summarizer = Some(Box::new(move |_| shared));
         self
     }
 
@@ -582,17 +588,37 @@ impl ServiceBuilder {
         mut self,
         summarizer: Box<dyn Summarizer + Send + Sync>,
     ) -> ServiceBuilder {
-        self.summarizer = Some(Arc::from(summarizer));
+        let shared: Arc<dyn Summarizer + Send + Sync> = Arc::from(summarizer);
+        self.summarizer = Some(Box::new(move |_| shared));
+        self
+    }
+
+    /// Build the summarizer *from the service's own pool*: `factory`
+    /// receives the shared [`SolverPool`] once it exists, so algorithms
+    /// whose inner search fans out (e.g.
+    /// [`vqs_core::prelude::ExactSummarizer::on_executor`]) ride the
+    /// same long-lived workers as cross-query pre-processing instead of
+    /// spawning scoped threads per search. Searches issued from inside a
+    /// pool job degrade to inline execution automatically (see
+    /// [`SolverPool::on_worker_thread`]), so the nesting is safe.
+    pub fn summarizer_with_pool<F>(mut self, factory: F) -> ServiceBuilder
+    where
+        F: FnOnce(Arc<SolverPool>) -> Box<dyn Summarizer + Send + Sync> + 'static,
+    {
+        self.summarizer = Some(Box::new(move |pool| Arc::from(factory(pool))));
         self
     }
 
     /// Spawn the pool and build the (initially tenant-less) service.
     pub fn build(self) -> VoiceService {
+        let pool = Arc::new(SolverPool::new(self.workers));
+        let summarizer = match self.summarizer {
+            Some(factory) => factory(Arc::clone(&pool)),
+            None => Arc::new(GreedySummarizer::with_optimized_pruning()),
+        };
         VoiceService {
-            pool: SolverPool::new(self.workers),
-            summarizer: self
-                .summarizer
-                .unwrap_or_else(|| Arc::new(GreedySummarizer::with_optimized_pruning())),
+            pool,
+            summarizer,
             tenants: RwLock::new(FxHashMap::default()),
         }
     }
@@ -603,7 +629,7 @@ impl ServiceBuilder {
 /// `&self`; the service is designed to be shared across request-serving
 /// threads.
 pub struct VoiceService {
-    pool: SolverPool,
+    pool: Arc<SolverPool>,
     summarizer: Arc<dyn Summarizer + Send + Sync>,
     tenants: RwLock<FxHashMap<String, Arc<Tenant>>>,
 }
@@ -627,6 +653,13 @@ impl VoiceService {
     /// Worker threads in the shared solver pool.
     pub fn pool_workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// A handle to the shared solver pool — the executor behind every
+    /// tenant's pre-processing, refreshes, and (for pool-backed
+    /// summarizers) the inner search fan-out.
+    pub fn solver_pool(&self) -> Arc<SolverPool> {
+        Arc::clone(&self.pool)
     }
 
     fn tenant(&self, name: &str) -> Option<Arc<Tenant>> {
@@ -1290,6 +1323,40 @@ mod tests {
             }
             other => panic!("expected the Summer speech, got {other:?}"),
         }
+    }
+
+    /// A pool-backed exact summarizer (inner search fan-out routed
+    /// through the service's own [`SolverPool`]) must register the
+    /// byte-identical store a scoped single-worker exact run produces —
+    /// including nested searches inside pool scatter jobs degrading to
+    /// inline execution instead of deadlocking.
+    #[test]
+    fn pool_backed_exact_summarizer_matches_scoped_reference() {
+        let mut cfg = config();
+        cfg.solver_workers = 0; // resolve to the pool's worker count
+        let service = ServiceBuilder::new()
+            .workers(2)
+            .summarizer_with_pool({
+                let cfg = cfg.clone();
+                move |pool| Box::new(crate::generator::configured_exact_on(&cfg, pool))
+            })
+            .build();
+        service
+            .register_dataset(TenantSpec::new("svc", dataset(7), cfg.clone()))
+            .unwrap();
+        let pooled = service.tenant_store("svc").unwrap();
+
+        let mut serial_cfg = cfg;
+        serial_cfg.solver_workers = 1;
+        let (reference, _) = preprocess_with(
+            &dataset(7),
+            &serial_cfg,
+            &crate::generator::configured_exact(&serial_cfg),
+            &PreprocessOptions::default(),
+            Workers::Pool(&service.solver_pool(), ScatterPriority::Bulk),
+        )
+        .unwrap();
+        assert_eq!(pooled.snapshot(), reference.snapshot());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Cross-crate differential tests of the pool-backed search fan-out.
+//!
+//! The core crate proves scoped-executor parity; these tests close the
+//! loop on the engine side: an [`ExactSummarizer`] (and the greedy
+//! sweep) whose fan-out rides the engine's long-lived [`SolverPool`]
+//! must produce byte-identical summaries to the sequential solver —
+//! same utility bits, same facts, same timeout flag — for every worker
+//! count, on both sides of the adaptive fan-out gate, and from inside a
+//! pool scatter job (where nested fan-out degrades to inline execution).
+
+use std::sync::Arc;
+
+use vqs_core::prelude::*;
+use vqs_engine::prelude::*;
+
+/// A deterministic random-ish relation sized to sit *above* the default
+/// fan-out gate when `above_gate`, below it otherwise.
+fn relation(seed: u64, rows: usize) -> EncodedRelation {
+    let data: Vec<(Vec<String>, f64)> = (0..rows)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 2654435761);
+            let a = format!("a{}", x % 5);
+            let b = format!("b{}", (x >> 8) % 4);
+            let c = format!("c{}", (x >> 16) % 3);
+            (vec![a, b, c], ((x >> 24) % 113) as f64)
+        })
+        .collect();
+    let refs: Vec<(Vec<&str>, f64)> = data
+        .iter()
+        .map(|(v, t)| (v.iter().map(String::as_str).collect(), *t))
+        .collect();
+    EncodedRelation::from_rows(&["a", "b", "c"], "y", refs, Prior::GlobalMean).unwrap()
+}
+
+/// Pool-backed exact search ≡ sequential exact search, for worker
+/// counts {0, 1, 2, 8} with the fan-out forced on and forced off (the
+/// two sides of the adaptive gate).
+#[test]
+fn pool_backed_exact_is_byte_identical_to_sequential() {
+    let pool: Arc<SolverPool> = Arc::new(SolverPool::new(2));
+    for seed in [3u64, 17, 40] {
+        let r = relation(seed, 220);
+        let catalog = FactCatalog::build(&r, &[0, 1, 2], 2).unwrap();
+        let problem = Problem::new(&r, &catalog, 3).unwrap();
+        let sequential = ExactSummarizer::paper().summarize(&problem).unwrap();
+        for workers in [0usize, 1, 2, 8] {
+            for fan_out_threshold in [0usize, usize::MAX] {
+                let pooled = ExactSummarizer {
+                    workers,
+                    fan_out_threshold,
+                    ..ExactSummarizer::paper()
+                }
+                .on_executor(Arc::clone(&pool) as Arc<dyn SearchExecutor>)
+                .summarize(&problem)
+                .unwrap();
+                assert_eq!(
+                    pooled.utility.to_bits(),
+                    sequential.utility.to_bits(),
+                    "seed {seed} workers {workers} threshold {fan_out_threshold}"
+                );
+                assert_eq!(
+                    pooled.speech.facts(),
+                    sequential.speech.facts(),
+                    "seed {seed} workers {workers} threshold {fan_out_threshold}"
+                );
+                assert_eq!(pooled.timed_out, sequential.timed_out);
+            }
+        }
+    }
+}
+
+/// The default gate keeps small instances sequential even when the pool
+/// grants workers: instrumentation (not just the speech) matches the
+/// one-worker run exactly, proving the sequential code path ran.
+#[test]
+fn adaptive_gate_boundary_on_the_pool() {
+    let pool: Arc<SolverPool> = Arc::new(SolverPool::new(4));
+    let r = relation(9, 150);
+    let catalog = FactCatalog::build(&r, &[0, 1], 2).unwrap();
+    let problem = Problem::new(&r, &catalog, 3).unwrap();
+    assert!(
+        catalog.len() * 3 < DEFAULT_FAN_OUT_THRESHOLD,
+        "instance must sit below the default gate"
+    );
+    let sequential = ExactSummarizer::with_workers(1)
+        .summarize(&problem)
+        .unwrap();
+    let gated = ExactSummarizer::with_workers(8)
+        .on_executor(Arc::clone(&pool) as Arc<dyn SearchExecutor>)
+        .summarize(&problem)
+        .unwrap();
+    assert_eq!(gated.utility.to_bits(), sequential.utility.to_bits());
+    assert_eq!(gated.speech.facts(), sequential.speech.facts());
+    assert_eq!(gated.instrumentation, sequential.instrumentation);
+}
+
+/// The greedy unpruned sweep fanned over the pool selects the identical
+/// facts as the sequential sweep.
+#[test]
+fn pool_backed_greedy_sweep_matches_sequential() {
+    let pool: Arc<SolverPool> = Arc::new(SolverPool::new(2));
+    for seed in [5u64, 23] {
+        let r = relation(seed, 260);
+        let catalog = FactCatalog::build(&r, &[0, 1, 2], 2).unwrap();
+        let problem = Problem::new(&r, &catalog, 3).unwrap();
+        let sequential = GreedySummarizer::base().summarize(&problem).unwrap();
+        for workers in [0usize, 2, 8] {
+            let pooled = GreedySummarizer {
+                workers,
+                ..GreedySummarizer::base()
+            }
+            .on_executor(Arc::clone(&pool) as Arc<dyn SearchExecutor>)
+            .summarize(&problem)
+            .unwrap();
+            assert_eq!(
+                pooled.utility.to_bits(),
+                sequential.utility.to_bits(),
+                "seed {seed} workers {workers}"
+            );
+            assert_eq!(pooled.speech.facts(), sequential.speech.facts());
+        }
+    }
+}
+
+/// A parallel exact search issued from *inside* a pool scatter job — the
+/// exact shape of pool-backed pre-processing — must complete (inline,
+/// no deadlock) and still match the sequential result.
+#[test]
+fn nested_pool_search_completes_and_matches() {
+    let pool: Arc<SolverPool> = Arc::new(SolverPool::new(1));
+    let r = relation(31, 200);
+    let catalog = FactCatalog::build(&r, &[0, 1, 2], 2).unwrap();
+    let problem = Problem::new(&r, &catalog, 3).unwrap();
+    let sequential = ExactSummarizer::paper().summarize(&problem).unwrap();
+    let solver = ExactSummarizer {
+        workers: 8,
+        fan_out_threshold: 0,
+        ..ExactSummarizer::paper()
+    }
+    .on_executor(Arc::clone(&pool) as Arc<dyn SearchExecutor>);
+    let nested = pool.scatter(1, |_| solver.summarize(&problem).unwrap());
+    assert_eq!(nested[0].utility.to_bits(), sequential.utility.to_bits());
+    assert_eq!(nested[0].speech.facts(), sequential.speech.facts());
+}
