@@ -10,12 +10,18 @@
 //! * `burst` — a synchronized thundering herd far past a small
 //!   admission cap: explicit-shed rate, peak queue depth (bounded!),
 //!   and p50/p99 submit→completion latency of the *served* requests.
+//! * `deadline` — the same herd with a per-request deadline budget
+//!   against a store whose two-predicate speeches were evicted, so
+//!   requests route through the live-solve rung of the degradation
+//!   ladder: deadline-hit rate, degraded-answer rate, and latency
+//!   percentiles of the in-deadline answers.
 //!
 //! CI runs it as a smoke step (valid JSON, no thresholds); the
 //! committed baseline forms the trajectory across PRs.
 //!
 //! Usage: `bench_frontend [--out PATH] [--scale X] [--requests N]
-//! [--threads T] [--workers W] [--burst N] [--burst-queue N]`
+//! [--threads T] [--workers W] [--burst N] [--burst-queue N]
+//! [--budget-micros N]`
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -47,6 +53,7 @@ fn main() {
     let mut workers = 3usize;
     let mut burst = 4_096usize;
     let mut burst_queue = 128usize;
+    let mut budget_micros = 4_000u64;
     let mut config = RunConfig {
         scale: 0.02,
         ..Default::default()
@@ -69,6 +76,9 @@ fn main() {
             "--workers" => workers = value("--workers").parse().expect("numeric count"),
             "--burst" => burst = value("--burst").parse().expect("numeric count"),
             "--burst-queue" => burst_queue = value("--burst-queue").parse().expect("numeric count"),
+            "--budget-micros" => {
+                budget_micros = value("--budget-micros").parse().expect("numeric micros")
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -254,9 +264,108 @@ fn main() {
     let offered = per_thread * threads;
     let served = offered - shed_answers;
 
+    // ---- Deadline pressure: the same herd, but every request carries
+    // a deadline budget, served by a dedicated deployment that (a) uses
+    // the paper's exact summarizer so budgeted live solves can hit real
+    // timeouts and rerun greedily (`Degradation::Greedy`), and (b) has
+    // its multi-predicate speeches evicted so those requests route
+    // through the live-solve rung of the degradation ladder instead of
+    // the store-hit fast path. Measures the deadline-hit rate (answers
+    // that beat their budget vs `Expired`), the degraded-answer rate
+    // among the in-deadline answers, and their submit→completion
+    // latency percentiles.
+    let deadline_service = Arc::new(
+        ServiceBuilder::new()
+            .summarizer(vqs_core::prelude::ExactSummarizer::paper())
+            .build(),
+    );
+    // 10× the shared scale: large enough subsets that a budgeted exact
+    // search can genuinely run out of time mid-solve (the greedy rung),
+    // small enough that exact pre-processing stays in bench territory.
+    let deadline_config = RunConfig {
+        scale: config.scale * 10.0,
+        ..config.clone()
+    };
+    for (tenant, letter, target) in PINNED {
+        let dataset = scenario_dataset(letter, &deadline_config);
+        let engine_config = single_target_config(&dataset, target);
+        deadline_service
+            .register_dataset(TenantSpec::new(tenant, dataset, engine_config))
+            .expect("registration succeeds");
+        let store = deadline_service
+            .tenant_store(tenant)
+            .expect("pinned tenant");
+        for speech in store.snapshot() {
+            if speech.query.predicates().len() >= 2 {
+                store.remove(&speech.query);
+            }
+        }
+    }
+    let budget = std::time::Duration::from_micros(budget_micros);
+    let deadline_frontend = FrontEnd::builder(Arc::clone(&deadline_service))
+        .workers(workers)
+        .queue_capacity(burst_queue)
+        .build();
+    let start = Instant::now();
+    let outcomes: Vec<(Vec<u64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let frontend = &deadline_frontend;
+                scope.spawn(move || {
+                    let mut tickets = Vec::with_capacity(per_thread);
+                    for round in 0..per_thread {
+                        let request = pick(worker, round).with_budget(budget);
+                        tickets.push((Instant::now(), frontend.submit(request)));
+                    }
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    let (mut shed, mut expired, mut degraded) = (0usize, 0usize, 0usize);
+                    for (submitted, ticket) in tickets {
+                        let response = ticket.into_inner();
+                        match response.answer {
+                            Answer::Overloaded { .. } => shed += 1,
+                            Answer::Expired { .. } => expired += 1,
+                            _ => {
+                                if response.degradation != Degradation::None {
+                                    degraded += 1;
+                                }
+                                latencies.push(submitted.elapsed().as_micros() as u64);
+                            }
+                        }
+                    }
+                    (latencies, shed, expired, degraded)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let deadline_secs = start.elapsed().as_secs_f64();
+    let mut deadline_latencies: Vec<u64> = Vec::with_capacity(burst);
+    let (mut deadline_shed, mut deadline_expired, mut deadline_degraded) = (0usize, 0usize, 0usize);
+    for (lat, shed, expired, degraded) in outcomes {
+        deadline_latencies.extend(lat);
+        deadline_shed += shed;
+        deadline_expired += expired;
+        deadline_degraded += degraded;
+    }
+    deadline_latencies.sort_unstable();
+    let deadline_stats = deadline_frontend.stats();
+    assert_eq!(deadline_stats.expired as usize, deadline_expired);
+    assert_eq!(deadline_stats.degraded as usize, deadline_degraded);
+    assert_eq!(
+        deadline_stats.submitted,
+        deadline_stats.completed + deadline_stats.shed + deadline_stats.expired,
+        "front-end counters must reconcile"
+    );
+    deadline_frontend.shutdown();
+    let deadline_offered = per_thread * threads;
+    let deadline_admitted = deadline_offered - deadline_shed;
+    let deadline_completed = deadline_admitted - deadline_expired;
+    let deadline_hit_rate = deadline_completed as f64 / deadline_admitted.max(1) as f64;
+    let degraded_rate = deadline_degraded as f64 / deadline_completed.max(1) as f64;
+
     let mut lines = Vec::new();
     lines.push("{".to_string());
-    lines.push("  \"schema\": \"vqs-bench-frontend/v1\",".to_string());
+    lines.push("  \"schema\": \"vqs-bench-frontend/v2\",".to_string());
     lines.push(format!("  \"scale\": {},", config.scale));
     lines.push("  \"direct\": {".to_string());
     lines.push(format!("    \"threads\": {threads},"));
@@ -294,6 +403,28 @@ fn main() {
     lines.push(format!(
         "    \"p99_micros\": {}",
         percentile(&latencies, 0.99)
+    ));
+    lines.push("  },".to_string());
+    lines.push("  \"deadline\": {".to_string());
+    lines.push(format!("    \"budget_micros\": {budget_micros},"));
+    lines.push(format!("    \"queue_capacity\": {burst_queue},"));
+    lines.push(format!("    \"offered\": {deadline_offered},"));
+    lines.push(format!("    \"shed\": {deadline_shed},"));
+    lines.push(format!("    \"expired\": {deadline_expired},"));
+    lines.push(format!("    \"completed\": {deadline_completed},"));
+    lines.push(format!(
+        "    \"deadline_hit_rate\": {deadline_hit_rate:.3},"
+    ));
+    lines.push(format!("    \"degraded\": {deadline_degraded},"));
+    lines.push(format!("    \"degraded_answer_rate\": {degraded_rate:.3},"));
+    lines.push(format!("    \"wall_ms\": {:.3},", deadline_secs * 1e3));
+    lines.push(format!(
+        "    \"p50_micros\": {},",
+        percentile(&deadline_latencies, 0.50)
+    ));
+    lines.push(format!(
+        "    \"p99_micros\": {}",
+        percentile(&deadline_latencies, 0.99)
     ));
     lines.push("  }".to_string());
     lines.push("}".to_string());

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use vqs_core::prelude::*;
 use vqs_data::GeneratedDataset;
 use vqs_relalg::hash::{FxHashMap, FxHashSet};
+use vqs_relalg::prelude::Table;
 
 use crate::config::Configuration;
 use crate::error::{EngineError, Result};
@@ -157,21 +158,30 @@ pub fn target_relation(
     config: &Configuration,
     target: &str,
 ) -> Result<EncodedRelation> {
+    table_relation(&dataset.table, config, target)
+}
+
+/// [`target_relation`] over a bare table (the respond path's live tier
+/// holds a projected [`Table`], not the original dataset).
+pub(crate) fn table_relation(
+    table: &Table,
+    config: &Configuration,
+    target: &str,
+) -> Result<EncodedRelation> {
     for dim in &config.dimensions {
-        if dataset.table.schema().index_of(dim).is_err() {
+        if table.schema().index_of(dim).is_err() {
             return Err(EngineError::MissingColumn {
                 column: dim.clone(),
             });
         }
     }
-    if dataset.table.schema().index_of(target).is_err() {
+    if table.schema().index_of(target).is_err() {
         return Err(EngineError::MissingColumn {
             column: target.to_string(),
         });
     }
     let dims: Vec<&str> = config.dimensions.iter().map(String::as_str).collect();
-    let relation =
-        EncodedRelation::from_table(&dataset.table, &dims, target, Prior::Constant(0.0))?;
+    let relation = EncodedRelation::from_table(table, &dims, target, Prior::Constant(0.0))?;
     let mean = relation.target_mean();
     Ok(relation.with_prior(Prior::Constant(mean))?)
 }
@@ -254,6 +264,23 @@ pub fn solve_item<S: Summarizer + ?Sized>(
     template: &SpeechTemplate,
     item: &WorkItem,
 ) -> Result<(StoredSpeech, Instrumentation)> {
+    let (speech, instrumentation, _) =
+        solve_item_at(relation, config, summarizer, template, item, None)?;
+    Ok((speech, instrumentation))
+}
+
+/// [`solve_item`] under an external wall-clock deadline (the serving
+/// path's live-solve tier). The third return value reports whether the
+/// solve timed out — the speech is then the summarizer's best-so-far
+/// (anytime algorithms) with no optimality guarantee.
+pub(crate) fn solve_item_at<S: Summarizer + ?Sized>(
+    relation: &EncodedRelation,
+    config: &Configuration,
+    summarizer: &S,
+    template: &SpeechTemplate,
+    item: &WorkItem,
+    deadline: Option<Instant>,
+) -> Result<(StoredSpeech, Instrumentation, bool)> {
     let subset = relation.subset(&item.rows)?;
     // Dimensions not fixed by the query remain free for fact scopes.
     let fixed: Vec<&String> = item.query.predicates().iter().map(|(d, _)| d).collect();
@@ -264,7 +291,7 @@ pub fn solve_item<S: Summarizer + ?Sized>(
     let max_dims = config.max_fact_dimensions.min(free_dims.len());
     let catalog = FactCatalog::build_with_scope_sizes(&subset, &free_dims, min_dims, max_dims)?;
     let problem = Problem::new(&subset, &catalog, config.speech_length)?;
-    let summary = summarizer.summarize(&problem)?;
+    let summary = summarizer.summarize_by(&problem, deadline)?;
 
     let facts: Vec<NamedFact> = summary
         .speech
@@ -295,7 +322,67 @@ pub fn solve_item<S: Summarizer + ?Sized>(
             rows: item.rows.len(),
         },
         summary.instrumentation,
+        summary.timed_out,
     ))
+}
+
+/// Solve one query live against a tenant's retained table, under the
+/// request's remaining deadline — the respond path's degradation ladder.
+///
+/// Returns `Ok(None)` when the query cannot be solved live (a predicate
+/// names an unknown dimension or value, or the subset is empty); the
+/// caller then falls through to the pre-existing answer tiers. When the
+/// configured summarizer times out against `deadline` (or
+/// `force_timeout` simulates that, for fault injection), the solve
+/// degrades to one poly-time greedy pass over the same problem and the
+/// returned flag reports the degradation.
+pub(crate) fn solve_live(
+    table: &Table,
+    config: &Configuration,
+    summarizer: &dyn Summarizer,
+    templates: &FxHashMap<String, SpeechTemplate>,
+    query: &Query,
+    deadline: Option<Instant>,
+    force_timeout: bool,
+) -> Result<Option<(StoredSpeech, bool)>> {
+    let relation = table_relation(table, config, query.target())?;
+    let mut predicates = Vec::with_capacity(query.predicates().len());
+    for (dim, value) in query.predicates() {
+        match relation.dim_index(dim) {
+            Some(d) => predicates.push((d, value.as_str())),
+            None => return Ok(None),
+        }
+    }
+    let rows: Vec<usize> = (0..relation.len())
+        .filter(|&row| {
+            predicates
+                .iter()
+                .all(|&(d, value)| relation.value_str(d, row) == value)
+        })
+        .collect();
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    let item = WorkItem {
+        query: query.clone(),
+        rows,
+    };
+    let template = templates
+        .get(query.target())
+        .cloned()
+        .unwrap_or_else(|| SpeechTemplate::plain(query.target()));
+    if !force_timeout {
+        let (speech, _, timed_out) =
+            solve_item_at(&relation, config, summarizer, &template, &item, deadline)?;
+        if !timed_out {
+            return Ok(Some((speech, false)));
+        }
+    }
+    // The budgeted solve expired (or was forced to): one greedy pass
+    // still yields a valid — merely non-optimal — speech.
+    let greedy = GreedySummarizer::with_optimized_pruning();
+    let (speech, _, _) = solve_item_at(&relation, config, &greedy, &template, &item, None)?;
+    Ok(Some((speech, true)))
 }
 
 /// The fully-prepared pre-processing input for one target.

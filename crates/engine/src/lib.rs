@@ -87,10 +87,10 @@ pub mod prelude {
     pub use crate::pipeline::{AggKind, ComputedValue, FollowOn, QueryPlan, Utterance};
     pub use crate::problem::{NamedFact, Query, StoredSpeech};
     pub use crate::service::{
-        Answer, ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, OverloadPolicy,
-        RefreshTicket, RegisterTicket, ResponseTicket, ScatterPriority, ServiceBuilder,
-        ServiceRequest, ServiceResponse, ServiceStats, SolverPool, TaskTicket, TenantSpec,
-        TenantStats, Ticket, VoiceService,
+        Answer, ChunkTicket, Degradation, Fault, FaultPlan, FaultSite, FrontEnd, FrontEndBuilder,
+        FrontEndStats, OverloadPolicy, RefreshTicket, RegisterTicket, ResponseTicket,
+        ScatterPriority, ServiceBuilder, ServiceRequest, ServiceResponse, ServiceStats, SolverPool,
+        TaskTicket, TenantSpec, TenantStats, Ticket, Trigger, VoiceService,
     };
     pub use crate::store::{Lookup, SpeechStore, StoreStats, DEFAULT_SHARDS};
     pub use crate::template::{format_value, speaking_time_secs, SpeechTemplate, ValueStyle};

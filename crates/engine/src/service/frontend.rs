@@ -19,6 +19,18 @@
 //!   ([`FrontEndBuilder::tenant_share`]), so one hot tenant saturating
 //!   the service cannot starve the others: its overflow is shed while
 //!   other tenants keep being admitted.
+//! * **Deadlines & expiry.** A request may carry an absolute deadline
+//!   (its own [`ServiceRequest::with_deadline`], else the tenant's
+//!   [`TenantSpec::default_deadline`], else the front-end-wide
+//!   [`FrontEndBuilder::default_deadline`]). When admission finds the
+//!   queue full, the *oldest queued request already past its deadline*
+//!   is shed first — completed with [`Answer::Expired`] — before fresh
+//!   work is shed or blocked, and a serving worker re-checks expiry
+//!   when it picks a request up, so no compute is spent on an answer
+//!   nobody is waiting for. The remaining budget rides into the respond
+//!   path's degradation ladder (see
+//!   [`crate::pipeline`]), which steps down to a greedy or store-only
+//!   answer rather than missing the deadline.
 //! * **A priority lane.** Background work — tenant registration and
 //!   delta refreshes submitted through [`FrontEnd::submit_register`] /
 //!   [`FrontEnd::submit_refresh`] — rides a separate control lane served
@@ -75,8 +87,8 @@ use crate::error::{EngineError, Result};
 use crate::generator::{PreprocessReport, RefreshReport};
 use crate::pipeline::Exec;
 use crate::service::{
-    Answer, ServiceRequest, ServiceResponse, Tenant, TenantSpec, VoiceService, INTERNAL_ERROR,
-    OVERLOADED,
+    Answer, Degradation, ServiceRequest, ServiceResponse, Tenant, TenantSpec, VoiceService,
+    EXPIRED, INTERNAL_ERROR, OVERLOADED,
 };
 use crate::template::speaking_time_secs;
 
@@ -100,6 +112,11 @@ const RETAINED_LANES: usize = 64;
 /// for names beyond this bucket into a `"(other)"` row so the map
 /// cannot grow without bound under an adversarial name flood.
 const SHED_TENANT_CAP: usize = 256;
+
+/// Upper bound on the exponential backoff between background retry
+/// attempts ([`FrontEndBuilder::retry_backoff`] doubles per attempt up
+/// to this cap).
+const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(50);
 
 /// What [`FrontEnd::submit`] does when admission would exceed a global
 /// cap.
@@ -290,6 +307,59 @@ fn contained_panic_response(
         answer: Answer::Internal {
             what: panic_text(payload),
         },
+        degradation: Degradation::None,
+    }
+}
+
+/// Run a fallible background operation with bounded retries.
+///
+/// Only *infrastructure* failures are retried: contained panics (each
+/// attempt runs under its own `catch_unwind`) and
+/// [`EngineError::Internal`]. Typed domain errors — duplicate tenant,
+/// unknown tenant, bad data — are deterministic, so retrying them would
+/// only burn control-lane time; they surface immediately. The backoff
+/// doubles per attempt from `backoff`, capped at [`RETRY_BACKOFF_CAP`].
+fn run_with_retry<T>(
+    retries: u32,
+    backoff: Duration,
+    retried: &AtomicU64,
+    attempt: impl Fn() -> Result<T>,
+) -> Result<T> {
+    let mut tries = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(&attempt)).unwrap_or_else(|payload| {
+            Err(EngineError::Internal {
+                what: panic_text(payload),
+            })
+        });
+        match outcome {
+            Err(EngineError::Internal { .. }) if tries < retries => {
+                tries += 1;
+                retried.fetch_add(1, Ordering::Relaxed);
+                let exp = backoff.saturating_mul(1u32 << (tries - 1).min(16));
+                std::thread::sleep(exp.min(RETRY_BACKOFF_CAP));
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
+/// The response a queue-expired request completes with. `queued_for` is
+/// also the reported latency — the request's entire cost was its time in
+/// the queue; it was never computed.
+fn expired_response(tenant: &str, queued_for: Duration) -> ServiceResponse {
+    ServiceResponse {
+        tenant: tenant.to_string(),
+        request: None,
+        speaking_secs: speaking_time_secs(EXPIRED),
+        follow_on: None,
+        session: None,
+        latency_micros: queued_for.as_micros() as u64,
+        answer: Answer::Expired {
+            tenant: tenant.to_string(),
+            queued_for,
+        },
+        degradation: Degradation::None,
     }
 }
 
@@ -297,6 +367,7 @@ fn contained_panic_response(
 struct QueuedRespond {
     request: ServiceRequest,
     ticket: ResponseTicket,
+    submitted_at: Instant,
 }
 
 /// One entry in an interactive lane: a single request with its own
@@ -308,6 +379,7 @@ enum Queued {
     Chunk {
         requests: Vec<ServiceRequest>,
         ticket: ChunkTicket,
+        submitted_at: Instant,
     },
 }
 
@@ -317,6 +389,27 @@ impl Queued {
         match self {
             Queued::One(_) => 1,
             Queued::Chunk { requests, .. } => requests.len(),
+        }
+    }
+
+    /// When this entry was admitted.
+    fn submitted_at(&self) -> Instant {
+        match self {
+            Queued::One(queued) => queued.submitted_at,
+            Queued::Chunk { submitted_at, .. } => *submitted_at,
+        }
+    }
+
+    /// Whether *every* request this entry carries is past its deadline
+    /// (requests are stamped with their resolved deadline at admission;
+    /// a deadline-free request never expires). A chunk is only shed
+    /// whole once all its members are stale.
+    fn expired(&self, now: Instant) -> bool {
+        match self {
+            Queued::One(queued) => queued.request.deadline.is_some_and(|d| now >= d),
+            Queued::Chunk { requests, .. } => requests
+                .iter()
+                .all(|request| request.deadline.is_some_and(|d| now >= d)),
         }
     }
 }
@@ -366,9 +459,12 @@ struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
+    expired: AtomicU64,
+    degraded: AtomicU64,
     blocked: AtomicU64,
     background_submitted: AtomicU64,
     background_completed: AtomicU64,
+    retried_background: AtomicU64,
     peak_queued: AtomicU64,
     contained_panics: AtomicU64,
     shed_by_tenant: Mutex<FxHashMap<String, u64>>,
@@ -394,6 +490,17 @@ pub struct FrontEndStats {
     pub completed: u64,
     /// Interactive requests rejected with [`Answer::Overloaded`].
     pub shed: u64,
+    /// Interactive requests that sat in the queue past their deadline
+    /// and were completed with [`Answer::Expired`] without being
+    /// computed. Every submitted request lands in exactly one of
+    /// `completed`, `shed`, or `expired`; once the queue drains,
+    /// `submitted == completed + shed + expired`.
+    pub expired: u64,
+    /// Completed requests whose answer stepped down the degradation
+    /// ladder to meet its deadline
+    /// ([`ServiceResponse::degradation`] ≠ [`Degradation::None`]).
+    /// A subset of `completed`: a degraded answer is still an answer.
+    pub degraded: u64,
     /// Times a submitter blocked for queue space
     /// ([`OverloadPolicy::Block`]).
     pub blocked: u64,
@@ -402,6 +509,12 @@ pub struct FrontEndStats {
     /// Background jobs claimed and run by a worker (counted as the job
     /// starts; every claimed job runs to completion).
     pub background_completed: u64,
+    /// Background attempts retried after an infrastructure failure (a
+    /// contained panic or [`EngineError::Internal`]); typed domain
+    /// errors are never retried. Each retry of the same job counts
+    /// once, so one job can contribute up to
+    /// [`FrontEndBuilder::background_retries`].
+    pub retried_background: u64,
     /// Highest interactive queue depth observed at admission.
     pub peak_queued: u64,
     /// Interactive requests whose handling panicked; the panic was
@@ -422,12 +535,16 @@ pub struct FrontEndBuilder {
     in_flight_cap: Option<usize>,
     background_capacity: usize,
     policy: OverloadPolicy,
+    default_deadline: Option<Duration>,
+    background_retries: u32,
+    retry_backoff: Duration,
 }
 
 impl FrontEndBuilder {
     /// Start from the defaults: 2 serving workers, a 1024-deep ingress
     /// queue with no per-tenant cap below it, a 64-deep background lane,
-    /// and the shed policy.
+    /// the shed policy, no service-wide deadline, and up to 2 background
+    /// retries.
     pub fn new(service: Arc<VoiceService>) -> FrontEndBuilder {
         FrontEndBuilder {
             service,
@@ -437,6 +554,9 @@ impl FrontEndBuilder {
             in_flight_cap: None,
             background_capacity: 64,
             policy: OverloadPolicy::Shed,
+            default_deadline: None,
+            background_retries: 2,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 
@@ -488,6 +608,33 @@ impl FrontEndBuilder {
         self
     }
 
+    /// Service-wide default deadline budget: a request with neither its
+    /// own [`ServiceRequest::deadline`] nor a tenant default
+    /// ([`TenantSpec::default_deadline`]) is stamped `now + budget` at
+    /// admission. The default (`None`) leaves such requests
+    /// deadline-free — they never expire and never degrade.
+    pub fn default_deadline(mut self, budget: Duration) -> FrontEndBuilder {
+        self.default_deadline = Some(budget);
+        self
+    }
+
+    /// Maximum retries for one background job (registration or refresh)
+    /// after an infrastructure failure — a contained panic or
+    /// [`EngineError::Internal`]. Typed domain errors (duplicate
+    /// tenant, unknown tenant, bad data) are deterministic and surface
+    /// immediately, never retried. Default: 2.
+    pub fn background_retries(mut self, retries: u32) -> FrontEndBuilder {
+        self.background_retries = retries;
+        self
+    }
+
+    /// Backoff before the first background retry; doubles per attempt,
+    /// capped at 50 ms. Default: 1 ms.
+    pub fn retry_backoff(mut self, backoff: Duration) -> FrontEndBuilder {
+        self.retry_backoff = backoff;
+        self
+    }
+
     /// Spawn the serving workers and build the front-end.
     pub fn build(self) -> FrontEnd {
         let workers = if self.workers == 0 {
@@ -534,6 +681,9 @@ impl FrontEndBuilder {
             in_flight_cap: self.in_flight_cap.unwrap_or(usize::MAX),
             background_capacity: self.background_capacity,
             policy: self.policy,
+            default_deadline: self.default_deadline,
+            background_retries: self.background_retries,
+            retry_backoff: self.retry_backoff,
             handles,
         }
     }
@@ -551,6 +701,9 @@ pub struct FrontEnd {
     in_flight_cap: usize,
     background_capacity: usize,
     policy: OverloadPolicy,
+    default_deadline: Option<Duration>,
+    background_retries: u32,
+    retry_backoff: Duration,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -562,6 +715,7 @@ impl std::fmt::Debug for FrontEnd {
             .field("tenant_share", &self.tenant_share)
             .field("in_flight_cap", &self.in_flight_cap)
             .field("policy", &self.policy)
+            .field("default_deadline", &self.default_deadline)
             .finish_non_exhaustive()
     }
 }
@@ -622,7 +776,50 @@ impl FrontEnd {
             session: None,
             latency_micros: start.elapsed().as_micros() as u64,
             answer,
+            degradation: Degradation::None,
         }
+    }
+
+    /// Stamp a request's resolved deadline at admission: its own
+    /// [`ServiceRequest::deadline`] wins, else the tenant's default
+    /// budget, else the front-end-wide default (budgets are measured
+    /// from `start`, the submission call's entry). `defaults` memoizes
+    /// the per-tenant registry read across one submission call, so a
+    /// chunked submission pays it once per distinct tenant.
+    fn stamp_deadline(
+        &self,
+        request: &mut ServiceRequest,
+        start: Instant,
+        defaults: &mut Vec<(String, Option<Duration>)>,
+    ) {
+        if request.deadline.is_some() {
+            return;
+        }
+        let tenant_default = match defaults.iter().find(|(name, _)| *name == request.tenant) {
+            Some((_, default)) => *default,
+            None => {
+                let default = self.service.tenant_default_deadline(&request.tenant);
+                defaults.push((request.tenant.clone(), default));
+                default
+            }
+        };
+        request.deadline = tenant_default
+            .or(self.default_deadline)
+            .map(|budget| start + budget);
+    }
+
+    /// Deadline-driven shedding at a full queue: remove the oldest
+    /// queued entry already past its deadline (if any), complete it as
+    /// [`Answer::Expired`], and return whether space was freed. Runs
+    /// *before* fresh work is shed or blocked, so stale requests nobody
+    /// is waiting for anymore are the first to go.
+    fn shed_expired(&self, ingress: &mut Ingress) -> bool {
+        let now = Instant::now();
+        let Some(entry) = take_expired(ingress, now) else {
+            return false;
+        };
+        expire_entry(entry, now, &self.service, &self.shared.counters);
+        true
     }
 
     /// Submit one interactive request. Never blocks under
@@ -651,9 +848,11 @@ impl FrontEnd {
         let mut tickets = Vec::new();
         let mut admitted = 0usize;
         let mut submitted = 0u64;
+        let mut defaults: Vec<(String, Option<Duration>)> = Vec::new();
         let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
-        'requests: for request in requests {
+        'requests: for mut request in requests {
             submitted += 1;
+            self.stamp_deadline(&mut request, start, &mut defaults);
             loop {
                 // Fairness cap first — re-checked after every wake,
                 // since the tenant's lane may have filled while this
@@ -669,11 +868,16 @@ impl FrontEnd {
                     ));
                     continue 'requests;
                 }
-                // Global caps: admit, shed, or wait, per policy.
+                // Global caps: admit, shed, or wait, per policy — after
+                // first trying to make room by expiring the oldest
+                // queued request already past its deadline.
                 if ingress.interactive_queued < self.queue_capacity
                     && ingress.in_flight < self.in_flight_cap
                 {
                     break;
+                }
+                if self.shed_expired(&mut ingress) {
+                    continue;
                 }
                 match self.policy {
                     OverloadPolicy::Shed => {
@@ -709,6 +913,7 @@ impl FrontEnd {
             lane.entries.push_back(Queued::One(QueuedRespond {
                 request,
                 ticket: ticket.clone(),
+                submitted_at: start,
             }));
             ingress.interactive_queued += 1;
             ingress.in_flight += 1;
@@ -746,11 +951,15 @@ impl FrontEnd {
     /// chunk is enqueued on the lane of its
     /// first request's tenant, so tenant-homogeneous chunks (the shape
     /// an aggregating gateway produces) keep fairness accounting exact.
-    pub fn submit_chunk(&self, requests: Vec<ServiceRequest>) -> ChunkTicket {
+    pub fn submit_chunk(&self, mut requests: Vec<ServiceRequest>) -> ChunkTicket {
         let start = Instant::now();
         let len = requests.len();
         if len == 0 {
             return Ticket::completed(Vec::new());
+        }
+        let mut defaults: Vec<(String, Option<Duration>)> = Vec::new();
+        for request in &mut requests {
+            self.stamp_deadline(request, start, &mut defaults);
         }
         let lane_tenant = &requests[0].tenant;
         self.shared
@@ -783,6 +992,9 @@ impl FrontEnd {
             {
                 break;
             }
+            if self.shed_expired(&mut ingress) {
+                continue;
+            }
             match self.policy {
                 OverloadPolicy::Shed => {
                     drop(ingress);
@@ -813,6 +1025,7 @@ impl FrontEnd {
         lane.entries.push_back(Queued::Chunk {
             requests,
             ticket: ticket.clone(),
+            submitted_at: start,
         });
         ingress.interactive_queued += len;
         ingress.in_flight += len;
@@ -861,21 +1074,28 @@ impl FrontEnd {
     /// shared pool). The ticket resolves to
     /// [`VoiceService::register_dataset`]'s result, or
     /// [`EngineError::Overloaded`] if the control lane was full under
-    /// the shed policy.
+    /// the shed policy. Panics and internal errors are retried up to
+    /// [`FrontEndBuilder::background_retries`] times with exponential
+    /// backoff — registration is all-or-nothing service-side, so a
+    /// failed attempt leaves nothing behind and the retry starts clean.
     pub fn submit_register(&self, spec: TenantSpec) -> RegisterTicket {
         let ticket: RegisterTicket = Ticket::pending();
         let completion = ticket.clone();
         let tenant = spec.name().to_string();
+        let retries = self.background_retries;
+        let backoff = self.retry_backoff;
+        let shared = Arc::clone(&self.shared);
         let job: BackgroundJob = Box::new(move |service| {
             // Contain panics: the worker survives and the ticket still
-            // completes (with `EngineError::Internal`) instead of
-            // hanging its waiters.
-            let outcome = catch_unwind(AssertUnwindSafe(|| service.register_dataset(spec)));
-            completion.complete(outcome.unwrap_or_else(|payload| {
-                Err(EngineError::Internal {
-                    what: panic_text(payload),
-                })
-            }));
+            // completes (with `EngineError::Internal` after the last
+            // attempt) instead of hanging its waiters.
+            let outcome = run_with_retry(
+                retries,
+                backoff,
+                &shared.counters.retried_background,
+                || service.register_dataset(spec.clone()),
+            );
+            completion.complete(outcome);
         });
         if self.submit_background(job).is_err() {
             return Ticket::completed(Err(EngineError::Overloaded { tenant }));
@@ -886,7 +1106,11 @@ impl FrontEnd {
     /// Refresh a tenant in the background (the control lane; its solver
     /// batches ride the pool's interactive fast lane so small deltas
     /// are not stuck behind a bulk registration). The ticket resolves
-    /// to [`VoiceService::refresh_tenant`]'s result.
+    /// to [`VoiceService::refresh_tenant`]'s result. Panics and
+    /// internal errors are retried up to
+    /// [`FrontEndBuilder::background_retries`] times with exponential
+    /// backoff — safe because a failed refresh is fail-atomic (the
+    /// tenant keeps serving its previous store).
     pub fn submit_refresh(
         &self,
         tenant: impl Into<String>,
@@ -897,15 +1121,17 @@ impl FrontEnd {
         let ticket: RefreshTicket = Ticket::pending();
         let completion = ticket.clone();
         let name = tenant.clone();
+        let retries = self.background_retries;
+        let backoff = self.retry_backoff;
+        let shared = Arc::clone(&self.shared);
         let job: BackgroundJob = Box::new(move |service| {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                service.refresh_tenant(&name, &dataset, &changed_rows)
-            }));
-            completion.complete(outcome.unwrap_or_else(|payload| {
-                Err(EngineError::Internal {
-                    what: panic_text(payload),
-                })
-            }));
+            let outcome = run_with_retry(
+                retries,
+                backoff,
+                &shared.counters.retried_background,
+                || service.refresh_tenant(&name, &dataset, &changed_rows),
+            );
+            completion.complete(outcome);
         });
         if self.submit_background(job).is_err() {
             return Ticket::completed(Err(EngineError::Overloaded { tenant }));
@@ -952,9 +1178,12 @@ impl FrontEnd {
             submitted: counters.submitted.load(Ordering::Relaxed),
             completed: counters.completed.load(Ordering::Relaxed),
             shed: counters.shed.load(Ordering::Relaxed),
+            expired: counters.expired.load(Ordering::Relaxed),
+            degraded: counters.degraded.load(Ordering::Relaxed),
             blocked: counters.blocked.load(Ordering::Relaxed),
             background_submitted: counters.background_submitted.load(Ordering::Relaxed),
             background_completed: counters.background_completed.load(Ordering::Relaxed),
+            retried_background: counters.retried_background.load(Ordering::Relaxed),
             peak_queued: counters.peak_queued.load(Ordering::Relaxed),
             contained_panics: counters.contained_panics.load(Ordering::Relaxed),
             shed_by_tenant,
@@ -992,6 +1221,75 @@ enum Work {
     Respond { batch: Vec<Queued>, requests: usize },
     /// One background job.
     Background(BackgroundJob),
+}
+
+/// Remove and return the oldest-submitted *expired* queue entry, fixing
+/// up the lane/rotation/in-flight accounting. Only lane fronts are
+/// inspected: lanes are FIFO, so each front is its lane's oldest entry
+/// and anything behind it has waited strictly less long.
+fn take_expired(ingress: &mut Ingress, now: Instant) -> Option<Queued> {
+    let mut oldest: Option<(usize, Instant)> = None;
+    for (slot, tenant) in ingress.rotation.iter().enumerate() {
+        let entry = ingress
+            .lanes
+            .get(tenant)
+            .and_then(|lane| lane.entries.front())
+            .expect("rotation entry without queued lane");
+        if entry.expired(now) && oldest.is_none_or(|(_, at)| entry.submitted_at() < at) {
+            oldest = Some((slot, entry.submitted_at()));
+        }
+    }
+    let (slot, _) = oldest?;
+    let tenant = ingress.rotation.remove(slot).expect("slot from enumerate");
+    let lane = ingress
+        .lanes
+        .get_mut(&tenant)
+        .expect("rotation entry without lane");
+    let entry = lane.entries.pop_front().expect("front entry seen above");
+    lane.queued -= entry.len();
+    ingress.interactive_queued -= entry.len();
+    ingress.in_flight -= entry.len();
+    if !lane.entries.is_empty() {
+        // The lane keeps its dispatch turn — it merely rejoins the
+        // rotation at the back, like after any served entry.
+        ingress.rotation.push_back(tenant);
+    } else if ingress.lanes.len() > RETAINED_LANES {
+        ingress.lanes.remove(&tenant);
+    }
+    Some(entry)
+}
+
+/// Complete an expired entry's ticket and do the accounting: expired
+/// requests count in `expired`, *not* `completed` — the invariant is
+/// `submitted == completed + shed + expired` — and roll into their
+/// tenant's own [`TenantStats::expired_requests`].
+///
+/// [`TenantStats::expired_requests`]: crate::service::TenantStats::expired_requests
+fn expire_entry(entry: Queued, now: Instant, service: &VoiceService, counters: &Counters) {
+    counters
+        .expired
+        .fetch_add(entry.len() as u64, Ordering::Relaxed);
+    let queued_for = now.saturating_duration_since(entry.submitted_at());
+    match entry {
+        Queued::One(queued) => {
+            service.record_expired(&queued.request.tenant);
+            queued
+                .ticket
+                .complete(expired_response(&queued.request.tenant, queued_for));
+        }
+        Queued::Chunk {
+            requests, ticket, ..
+        } => {
+            let responses = requests
+                .iter()
+                .map(|request| {
+                    service.record_expired(&request.tenant);
+                    expired_response(&request.tenant, queued_for)
+                })
+                .collect();
+            ticket.complete(responses);
+        }
+    }
 }
 
 /// Claim the next work item: a batch from the interactive lanes if any
@@ -1088,7 +1386,10 @@ fn respond_cached(
     };
     match &tenant {
         Some(tenant) => {
-            VoiceService::respond_owned(tenant, request, start, Exec::Bulk(&service.pool))
+            // The deadline was stamped at admission; whatever budget is
+            // left bounds live solver work via the degradation ladder.
+            let deadline = request.deadline;
+            service.respond_owned(tenant, request, start, deadline, Exec::Bulk(&service.pool))
         }
         None => VoiceService::unknown_tenant_response(&request.tenant, start),
     }
@@ -1134,28 +1435,85 @@ fn worker_loop(shared: &FrontShared, service: &VoiceService) {
                 let mut resolved: Vec<(String, Option<Arc<Tenant>>)> = Vec::new();
                 for entry in batch {
                     // Count *before* completing: a waiter that saw its
-                    // ticket resolve must already see it in `completed`.
+                    // ticket resolve must already see it in `completed`
+                    // (or `expired`). A request that sat in the queue
+                    // past its deadline is never computed — its waiter
+                    // stopped listening; the instant Expired answer
+                    // frees the worker for requests someone still wants.
                     match entry {
                         Queued::One(queued) => {
+                            let now = Instant::now();
+                            if queued
+                                .request
+                                .deadline
+                                .is_some_and(|deadline| now >= deadline)
+                            {
+                                shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                                service.record_expired(&queued.request.tenant);
+                                queued.ticket.complete(expired_response(
+                                    &queued.request.tenant,
+                                    now.saturating_duration_since(queued.submitted_at),
+                                ));
+                                continue;
+                            }
                             let response =
                                 respond_contained(service, &mut resolved, queued.request, shared);
+                            if response.degradation != Degradation::None {
+                                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                            }
                             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                             queued.ticket.complete(response);
                         }
-                        Queued::Chunk { requests, ticket } => {
+                        Queued::Chunk {
+                            requests,
+                            ticket,
+                            submitted_at,
+                        } => {
                             // Contained per request: one panicking
                             // request must not discard its chunk-mates'
-                            // computed responses.
+                            // computed responses. Expiry is likewise per
+                            // request — a chunk straddling its deadline
+                            // completes what it can.
+                            let mut completed = 0u64;
+                            let mut expired = 0u64;
+                            let mut degraded = 0u64;
                             let responses: Vec<ServiceResponse> = requests
                                 .into_iter()
                                 .map(|request| {
-                                    respond_contained(service, &mut resolved, request, shared)
+                                    let now = Instant::now();
+                                    if request.deadline.is_some_and(|deadline| now >= deadline) {
+                                        expired += 1;
+                                        service.record_expired(&request.tenant);
+                                        return expired_response(
+                                            &request.tenant,
+                                            now.saturating_duration_since(submitted_at),
+                                        );
+                                    }
+                                    let response =
+                                        respond_contained(service, &mut resolved, request, shared);
+                                    if response.degradation != Degradation::None {
+                                        degraded += 1;
+                                    }
+                                    completed += 1;
+                                    response
                                 })
                                 .collect();
+                            if expired > 0 {
+                                shared
+                                    .counters
+                                    .expired
+                                    .fetch_add(expired, Ordering::Relaxed);
+                            }
+                            if degraded > 0 {
+                                shared
+                                    .counters
+                                    .degraded
+                                    .fetch_add(degraded, Ordering::Relaxed);
+                            }
                             shared
                                 .counters
                                 .completed
-                                .fetch_add(responses.len() as u64, Ordering::Relaxed);
+                                .fetch_add(completed, Ordering::Relaxed);
                             ticket.complete(responses);
                         }
                     }
@@ -1355,6 +1713,172 @@ mod tests {
         let stats = frontend.stats();
         assert_eq!(stats.background_submitted, 3);
         assert_eq!(stats.background_completed, 3);
+        // The duplicate registration failed with a typed domain error —
+        // deterministic, so it must not have been retried.
+        assert_eq!(stats.retried_background, 0);
+    }
+
+    #[test]
+    fn panic_text_renders_non_string_payloads() {
+        assert_eq!(panic_text(Box::new("boom")), "boom");
+        assert_eq!(panic_text(Box::new(String::from("heap boom"))), "heap boom");
+        assert_eq!(panic_text(Box::new(42u32)), "non-string panic payload");
+        assert_eq!(panic_text(Box::new(())), "non-string panic payload");
+    }
+
+    #[test]
+    fn contained_panic_inside_a_chunk_spares_chunk_mates() {
+        use crate::service::{Fault, FaultPlan, FaultSite};
+        let plan = Arc::new(FaultPlan::new(9).rule_every(FaultSite::Respond, Fault::Panic, 2));
+        let service = Arc::new(
+            ServiceBuilder::new()
+                .workers(1)
+                .fault_plan(Arc::clone(&plan))
+                .build(),
+        );
+        service
+            .register_dataset(TenantSpec::new("fe", dataset(3), config()))
+            .unwrap();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        plan.arm();
+        let responses = frontend
+            .submit_chunk(vec![
+                ServiceRequest::new("fe", "delay in Winter?"),
+                ServiceRequest::new("fe", "delay in Summer?"),
+            ])
+            .wait();
+        plan.disarm();
+        // The every-2nd-draw rule spares the first request and panics
+        // the second; containment preserves the chunk-mate's response.
+        assert!(responses[0].answer.is_speech());
+        assert!(matches!(responses[1].answer, Answer::Internal { .. }));
+        let stats = frontend.stats();
+        assert_eq!(stats.contained_panics, 1);
+        // A contained panic still counts as completed: the ticket
+        // resolved with an answer.
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn queue_expired_requests_complete_as_expired() {
+        let service = Arc::new(ServiceBuilder::new().workers(1).build());
+        service
+            .register_dataset(
+                TenantSpec::new("fe", dataset(3), config()).default_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        // The tenant default stamps a zero budget: the worker's expiry
+        // check fires before any computation happens.
+        let response = frontend
+            .submit(ServiceRequest::new("fe", "delay in Winter?"))
+            .wait();
+        match response.answer {
+            Answer::Expired { ref tenant, .. } => assert_eq!(tenant, "fe"),
+            ref other => panic!("expected Expired, got {other:?}"),
+        }
+        // Expired requests count as expired, NOT completed:
+        // submitted == completed + shed + expired.
+        let stats = frontend.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.shed, 0);
+        // ... and roll into the tenant's own counters.
+        let tenant_stats = &service.stats().tenants[0];
+        assert_eq!(tenant_stats.expired_requests, 1);
+        assert_eq!(tenant_stats.requests, 0);
+        // A per-request deadline overrides the tenant default.
+        let response = frontend
+            .submit(
+                ServiceRequest::new("fe", "delay in Winter?").with_budget(Duration::from_secs(60)),
+            )
+            .wait();
+        assert!(response.answer.is_speech());
+    }
+
+    #[test]
+    fn admission_sheds_the_oldest_expired_request_first() {
+        let service = service_with_tenant();
+        let frontend = FrontEnd::builder(Arc::clone(&service))
+            .workers(1)
+            .queue_capacity(2)
+            .tenant_share(8)
+            .build();
+        // Hold the only worker in a gate task so admitted requests stay
+        // queued (background runs because nothing interactive is queued
+        // yet).
+        let gate = Arc::new((Mutex::new(true), Condvar::new()));
+        let entered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let in_gate = {
+            let gate = Arc::clone(&gate);
+            let entered = Arc::clone(&entered);
+            frontend
+                .submit_task(move |_| {
+                    entered.store(true, Ordering::SeqCst);
+                    let (closed, released) = &*gate;
+                    let mut closed = closed.lock().unwrap();
+                    while *closed {
+                        closed = released.wait(closed).unwrap();
+                    }
+                })
+                .unwrap()
+        };
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // Fill the queue: one instantly-expired request, one fresh one.
+        let stale = frontend
+            .submit(ServiceRequest::new("fe", "delay in Winter?").with_budget(Duration::ZERO));
+        let fresh = frontend.submit(
+            ServiceRequest::new("fe", "delay in Winter?").with_budget(Duration::from_secs(60)),
+        );
+        // The queue (capacity 2) is full. The next submission makes
+        // room by expiring the stale entry instead of shedding anyone.
+        let newcomer = frontend.submit(
+            ServiceRequest::new("fe", "delay in Summer?").with_budget(Duration::from_secs(60)),
+        );
+        assert!(stale.is_ready(), "expired entry not shed at admission");
+        assert!(matches!(stale.wait().answer, Answer::Expired { .. }));
+        let (closed, released) = &*gate;
+        *closed.lock().unwrap() = false;
+        released.notify_all();
+        assert!(fresh.wait().answer.is_speech());
+        assert!(newcomer.wait().answer.is_speech());
+        in_gate.wait();
+        let stats = frontend.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn background_refresh_retries_injected_internal_faults() {
+        use crate::service::{Fault, FaultPlan, FaultSite};
+        let plan =
+            Arc::new(FaultPlan::new(11).rule_every(FaultSite::Refresh, Fault::SolverTimeout, 2));
+        let service = Arc::new(
+            ServiceBuilder::new()
+                .workers(1)
+                .fault_plan(Arc::clone(&plan))
+                .build(),
+        );
+        service
+            .register_dataset(TenantSpec::new("fe", dataset(3), config()))
+            .unwrap();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        // Burn draw 0 so the every-2nd-draw rule fires on the first
+        // refresh attempt (draw 1) and clears on the retry (draw 2).
+        plan.arm();
+        assert!(!plan.impose(FaultSite::Refresh));
+        let refresh = frontend.submit_refresh("fe", dataset(3), vec![0, 1]);
+        assert!(refresh.wait().is_ok(), "retry should have recovered");
+        plan.disarm();
+        let stats = frontend.stats();
+        assert_eq!(stats.retried_background, 1);
+        assert_eq!(stats.background_submitted, 1);
+        assert_eq!(stats.background_completed, 1);
     }
 
     #[test]

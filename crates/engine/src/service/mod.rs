@@ -33,9 +33,11 @@
 //! assert!(matches!(response.answer, Answer::Speech { .. }));
 //! ```
 
+pub mod faults;
 pub mod frontend;
 pub mod pool;
 
+pub use faults::{Fault, FaultPlan, FaultSite, Trigger};
 pub use frontend::{
     ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, OverloadPolicy, RefreshTicket,
     RegisterTicket, ResponseTicket, TaskTicket, Ticket,
@@ -94,6 +96,8 @@ pub(crate) const UNKNOWN_TENANT: &str = "I do not know that data set.";
 pub(crate) const OVERLOADED: &str = "I am handling too many requests right now; please try again.";
 /// Spoken text of [`Answer::Internal`].
 pub(crate) const INTERNAL_ERROR: &str = "Something went wrong on my end; please try again.";
+/// Spoken text of [`Answer::Expired`].
+pub(crate) const EXPIRED: &str = "I could not get to that in time; please ask again.";
 
 /// One incoming voice request, addressed to a tenant by name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,16 +106,50 @@ pub struct ServiceRequest {
     pub tenant: String,
     /// Raw utterance text.
     pub text: String,
+    /// Absolute wall-clock deadline of this request. `None` falls back
+    /// to the tenant's [`TenantSpec::default_deadline`], then to the
+    /// serving front-end's service-wide default (if any). Once past the
+    /// deadline a queued request is completed with [`Answer::Expired`]
+    /// instead of being computed, and the remaining budget bounds live
+    /// solver work on the respond path.
+    pub deadline: Option<Instant>,
 }
 
 impl ServiceRequest {
-    /// Build a request.
+    /// Build a request with no per-request deadline.
     pub fn new(tenant: impl Into<String>, text: impl Into<String>) -> ServiceRequest {
         ServiceRequest {
             tenant: tenant.into(),
             text: text.into(),
+            deadline: None,
         }
     }
+
+    /// Set an absolute deadline (overrides tenant and service defaults).
+    pub fn with_deadline(mut self, deadline: Instant) -> ServiceRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the deadline as a budget from now.
+    pub fn with_budget(self, budget: Duration) -> ServiceRequest {
+        self.with_deadline(Instant::now() + budget)
+    }
+}
+
+/// How far down the answer-quality ladder a response had to step to
+/// meet its deadline. Stamped on every [`ServiceResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Degradation {
+    /// Full-quality answer (always the case for deadline-free requests).
+    #[default]
+    None,
+    /// The budgeted live solve timed out; a poly-time greedy pass
+    /// produced the speech instead (valid, merely non-optimal).
+    Greedy,
+    /// No budget remained for live work; the answer came from the store
+    /// (or a typed apology) alone.
+    StoreOnly,
 }
 
 /// What the service answered — the typed replacement for the old
@@ -187,6 +225,17 @@ pub enum Answer {
         /// The contained panic payload, when it was a string.
         what: String,
     },
+    /// The request sat in the serving queue past its deadline and was
+    /// completed without computing an answer — in voice UX a fast "ask
+    /// again" beats a stale answer nobody is waiting for. Produced only
+    /// by [`crate::service::FrontEnd`]; the direct
+    /// [`VoiceService::respond`] path never queues.
+    Expired {
+        /// The tenant the expired request addressed.
+        tenant: String,
+        /// How long the request had been queued when it expired.
+        queued_for: Duration,
+    },
 }
 
 impl Answer {
@@ -202,6 +251,7 @@ impl Answer {
             Answer::UnknownTenant { .. } => UNKNOWN_TENANT,
             Answer::Overloaded { .. } => OVERLOADED,
             Answer::Internal { .. } => INTERNAL_ERROR,
+            Answer::Expired { .. } => EXPIRED,
         }
     }
 
@@ -236,6 +286,9 @@ pub struct ServiceResponse {
     pub latency_micros: u64,
     /// Estimated speaking time of the answer, in seconds.
     pub speaking_secs: f64,
+    /// How far the answer degraded to meet the request deadline
+    /// ([`Degradation::None`] for every deadline-free request).
+    pub degradation: Degradation,
 }
 
 impl ServiceResponse {
@@ -264,6 +317,7 @@ pub struct TenantSpec {
     synonyms: Vec<(String, Vec<String>)>,
     unavailable_markers: Vec<String>,
     extremum: Option<(String, String)>,
+    default_deadline: Option<Duration>,
 }
 
 impl TenantSpec {
@@ -283,6 +337,7 @@ impl TenantSpec {
             synonyms: Vec::new(),
             unavailable_markers: Vec::new(),
             extremum: None,
+            default_deadline: None,
         }
     }
 
@@ -327,6 +382,15 @@ impl TenantSpec {
         self.extremum = Some((target.to_string(), phrase.to_string()));
         self
     }
+
+    /// Default per-request deadline budget for this tenant: requests
+    /// without their own [`ServiceRequest::deadline`] get `now + budget`
+    /// on arrival. Overrides the serving front-end's service-wide
+    /// default ([`FrontEndBuilder::default_deadline`]).
+    pub fn default_deadline(mut self, budget: Duration) -> TenantSpec {
+        self.default_deadline = Some(budget);
+        self
+    }
 }
 
 /// Per-request counters of one tenant, updated with relaxed atomics on
@@ -344,14 +408,24 @@ pub(crate) struct RequestCounters {
     unsupported: AtomicU64,
     misses: AtomicU64,
     sessions: AtomicU64,
+    /// Requests expired in the serving queue (never computed, so not
+    /// part of `requests`).
+    expired: AtomicU64,
+    /// Answers served below full quality to meet their deadline.
+    degraded: AtomicU64,
 }
 
 impl RequestCounters {
     /// Account one answered request. `UnknownTenant`/`Overloaded` never
     /// reach a tenant's counters (they are produced before a tenant
-    /// resolves), so they only bump the request total here.
-    pub(crate) fn record(&self, answer: &Answer) {
+    /// resolves), so they only bump the request total here; `Expired`
+    /// requests are accounted via [`RequestCounters::record_expired`]
+    /// instead (they were never computed).
+    pub(crate) fn record(&self, answer: &Answer, degradation: Degradation) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if degradation != Degradation::None {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
         let kind = match answer {
             Answer::Speech { .. } => &self.speeches,
             Answer::Extension { .. } => &self.extensions,
@@ -359,11 +433,17 @@ impl RequestCounters {
             Answer::Help { .. } => &self.helps,
             Answer::Unsupported { .. } => &self.unsupported,
             Answer::NoSummary { .. } => &self.misses,
-            Answer::UnknownTenant { .. } | Answer::Overloaded { .. } | Answer::Internal { .. } => {
-                return
-            }
+            Answer::UnknownTenant { .. }
+            | Answer::Overloaded { .. }
+            | Answer::Internal { .. }
+            | Answer::Expired { .. } => return,
         };
         kind.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one request expired in the serving queue.
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -399,6 +479,8 @@ pub(crate) struct Tenant {
     synonyms: Vec<(String, Vec<String>)>,
     unavailable_markers: Vec<String>,
     extremum: Option<(String, String)>,
+    /// Default deadline budget stamped onto requests that carry none.
+    default_deadline: Option<Duration>,
     store: Arc<SpeechStore>,
     /// Serializes refreshes per tenant. The raw dataset itself is *not*
     /// retained — callers hand the current data to
@@ -476,6 +558,13 @@ pub struct TenantStats {
     pub unsupported_answers: u64,
     /// Supported queries with no stored speech ([`Answer::NoSummary`]).
     pub miss_answers: u64,
+    /// Requests expired in the serving queue past their deadline
+    /// (completed with [`Answer::Expired`], never computed — not part
+    /// of `requests`).
+    pub expired_requests: u64,
+    /// Answers served below full quality to meet their deadline
+    /// ([`ServiceResponse::degradation`] ≠ [`Degradation::None`]).
+    pub degraded_answers: u64,
     /// Sessions opened on this tenant via [`VoiceService::session`].
     pub sessions_opened: u64,
     /// Completed [`VoiceService::refresh_tenant`] runs.
@@ -538,6 +627,7 @@ type SummarizerFactory = Box<dyn FnOnce(Arc<SolverPool>) -> Arc<dyn Summarizer +
 pub struct ServiceBuilder {
     workers: usize,
     summarizer: Option<SummarizerFactory>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceBuilder {
@@ -551,17 +641,19 @@ impl std::fmt::Debug for ServiceBuilder {
         f.debug_struct("ServiceBuilder")
             .field("workers", &self.workers)
             .field("summarizer", &self.summarizer.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
 
 impl ServiceBuilder {
     /// Start from the defaults: all available cores, the optimized
-    /// greedy summarizer.
+    /// greedy summarizer, no fault injection.
     pub fn new() -> ServiceBuilder {
         ServiceBuilder {
             workers: 0,
             summarizer: None,
+            faults: None,
         }
     }
 
@@ -609,6 +701,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Install a (typically still disarmed) fault-injection plan: the
+    /// service draws from it at the named [`FaultSite`]s on the
+    /// respond/refresh/register paths. Intended for chaos testing; a
+    /// disarmed plan costs one atomic load per site check.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> ServiceBuilder {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Spawn the pool and build the (initially tenant-less) service.
     pub fn build(self) -> VoiceService {
         let pool = Arc::new(SolverPool::new(self.workers));
@@ -619,6 +720,7 @@ impl ServiceBuilder {
         VoiceService {
             pool,
             summarizer,
+            faults: self.faults,
             tenants: RwLock::new(FxHashMap::default()),
         }
     }
@@ -631,6 +733,7 @@ impl ServiceBuilder {
 pub struct VoiceService {
     pool: Arc<SolverPool>,
     summarizer: Arc<dyn Summarizer + Send + Sync>,
+    faults: Option<Arc<FaultPlan>>,
     tenants: RwLock<FxHashMap<String, Arc<Tenant>>>,
 }
 
@@ -666,6 +769,21 @@ impl VoiceService {
         self.tenants.read().get(name).cloned()
     }
 
+    /// Draw from the fault plan at a control-path site. A forced solver
+    /// timeout surfaces as a typed [`EngineError::Internal`] — the same
+    /// shape a genuine solver breakdown would take — which the serving
+    /// front-end's background lane retries with backoff.
+    fn impose_control(&self, site: FaultSite) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            if faults.impose(site) {
+                return Err(EngineError::Internal {
+                    what: format!("injected solver timeout at {}", site.name()),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Register a dataset as a new tenant: enumerate its queries, solve
     /// them over the shared pool, and make the tenant answerable. The
     /// produced store is byte-identical to the legacy free-function
@@ -675,6 +793,7 @@ impl VoiceService {
     /// taken, and with the underlying error when the configuration or
     /// solving fails (in which case no tenant is registered).
     pub fn register_dataset(&self, spec: TenantSpec) -> Result<PreprocessReport> {
+        self.impose_control(FaultSite::Register)?;
         spec.config.validate()?;
         if self.tenant(&spec.name).is_some() {
             return Err(EngineError::DuplicateTenant { name: spec.name });
@@ -712,6 +831,7 @@ impl VoiceService {
             synonyms: spec.synonyms,
             unavailable_markers: spec.unavailable_markers,
             extremum: spec.extremum,
+            default_deadline: spec.default_deadline,
             store: Arc::new(store),
             refresh_lock: Mutex::new(()),
             runtime: Arc::new(RwLock::new(runtime)),
@@ -753,6 +873,9 @@ impl VoiceService {
         // Holding the refresh lock for the whole run serializes
         // refreshes per tenant without blocking the respond path.
         let _refresh = tenant.refresh_lock.lock();
+        // An injected fault here fails the refresh *before* any state is
+        // touched, preserving fail-atomicity by construction.
+        self.impose_control(FaultSite::Refresh)?;
         // Build the new runtime *before* touching the store: it is the
         // only other fallible step, so ordering it first keeps a failed
         // refresh fail-atomic (store, dataset, extractor, and counters
@@ -844,7 +967,12 @@ impl VoiceService {
     pub fn respond(&self, request: &ServiceRequest) -> ServiceResponse {
         let start = Instant::now();
         match self.tenant(&request.tenant) {
-            Some(tenant) => Self::respond_resolved(&tenant, request, start, Exec::Bulk(&self.pool)),
+            Some(tenant) => {
+                let deadline = request
+                    .deadline
+                    .or_else(|| tenant.default_deadline.map(|budget| start + budget));
+                self.respond_resolved(&tenant, request, start, deadline, Exec::Bulk(&self.pool))
+            }
             None => Self::unknown_tenant_response(&request.tenant, start),
         }
     }
@@ -861,6 +989,7 @@ impl VoiceService {
             follow_on: None,
             session: None,
             latency_micros: start.elapsed().as_micros() as u64,
+            degradation: Degradation::None,
             answer,
         }
     }
@@ -872,14 +1001,37 @@ impl VoiceService {
         self.tenant(name)
     }
 
+    /// A tenant's default deadline budget (the serving front-end stamps
+    /// it onto budget-less requests at admission).
+    pub(crate) fn tenant_default_deadline(&self, name: &str) -> Option<Duration> {
+        self.tenant(name).and_then(|tenant| tenant.default_deadline)
+    }
+
+    /// Roll one queue-expired request into its tenant's counters (the
+    /// expiry happens in the front-end, before a tenant handle exists).
+    pub(crate) fn record_expired(&self, name: &str) {
+        if let Some(tenant) = self.tenant(name) {
+            tenant.counters.record_expired();
+        }
+    }
+
     /// [`VoiceService::respond`] against an already-resolved tenant.
     pub(crate) fn respond_resolved(
+        &self,
         tenant: &Tenant,
         request: &ServiceRequest,
         start: Instant,
+        deadline: Option<Instant>,
         exec: Exec<'_>,
     ) -> ServiceResponse {
-        Self::respond_parts(tenant, request.tenant.clone(), &request.text, start, exec)
+        self.respond_parts(
+            tenant,
+            request.tenant.clone(),
+            &request.text,
+            start,
+            deadline,
+            exec,
+        )
     }
 
     /// [`VoiceService::respond_resolved`] taking the request by value:
@@ -887,34 +1039,51 @@ impl VoiceService {
     /// (the front-end's hot path — the label's allocation then travels
     /// submitter → response and is freed where it was allocated).
     pub(crate) fn respond_owned(
+        &self,
         tenant: &Tenant,
         request: ServiceRequest,
         start: Instant,
+        deadline: Option<Instant>,
         exec: Exec<'_>,
     ) -> ServiceResponse {
-        Self::respond_parts(tenant, request.tenant, &request.text, start, exec)
+        self.respond_parts(tenant, request.tenant, &request.text, start, deadline, exec)
     }
 
     /// Shared respond body; `label` becomes [`ServiceResponse::tenant`].
     fn respond_parts(
+        &self,
         tenant: &Tenant,
         label: String,
         text: &str,
         start: Instant,
+        deadline: Option<Instant>,
         exec: Exec<'_>,
     ) -> ServiceResponse {
+        if let Some(faults) = &self.faults {
+            // Latency/panic injection on the hot path; panics are
+            // contained by the front-end's worker loop.
+            faults.impose(FaultSite::Respond);
+        }
         let runtime = tenant.runtime.read();
         let analysis = pipeline::analyze::analyze(&runtime.extractor, text);
+        let solve = pipeline::LiveSolve {
+            summarizer: self.summarizer.as_ref(),
+            config: &tenant.config,
+            templates: &tenant.templates,
+            faults: self.faults.as_deref(),
+        };
         let ctx = PipelineContext {
             store: &tenant.store,
             help_text: &tenant.help_text,
             extensions: runtime.extensions.as_ref(),
             live: runtime.live.as_ref(),
             exec,
+            deadline,
+            solve: Some(solve),
         };
-        let (answer, follow_on) = pipeline::answer(&analysis, text, &ctx);
+        let (answer, follow_on, degradation) = pipeline::answer(&analysis, text, &ctx);
         drop(runtime);
-        tenant.counters.record(&answer);
+        tenant.counters.record(&answer, degradation);
         ServiceResponse {
             tenant: label,
             request: Some(analysis.request),
@@ -922,6 +1091,7 @@ impl VoiceService {
             follow_on,
             session: None,
             latency_micros: start.elapsed().as_micros() as u64,
+            degradation,
             answer,
         }
     }
@@ -952,6 +1122,8 @@ impl VoiceService {
                     help_answers: tenant.counters.helps.load(Ordering::Relaxed),
                     unsupported_answers: tenant.counters.unsupported.load(Ordering::Relaxed),
                     miss_answers: tenant.counters.misses.load(Ordering::Relaxed),
+                    expired_requests: tenant.counters.expired.load(Ordering::Relaxed),
+                    degraded_answers: tenant.counters.degraded.load(Ordering::Relaxed),
                     sessions_opened: tenant.counters.sessions.load(Ordering::Relaxed),
                     refreshes: rollup.refreshes,
                     recomputed: rollup.recomputed,
@@ -1150,6 +1322,8 @@ mod tests {
             extensions: None,
             live: None,
             exec: Exec::Inline,
+            deadline: None,
+            solve: None,
         };
         let analysis = pipeline::Analysis {
             request: Request::Query(Query::of(
@@ -1158,7 +1332,8 @@ mod tests {
             )),
             plan: None,
         };
-        let (answer, _) = pipeline::answer(&analysis, "", &ctx);
+        let (answer, _, degradation) = pipeline::answer(&analysis, "", &ctx);
+        assert_eq!(degradation, Degradation::None);
         match answer {
             Answer::Speech {
                 speech,
@@ -1176,7 +1351,7 @@ mod tests {
             request: Request::Query(Query::of("satisfaction", &[])),
             plan: None,
         };
-        let (answer, follow_on) = pipeline::answer(&miss, "", &ctx);
+        let (answer, follow_on, _) = pipeline::answer(&miss, "", &ctx);
         assert_eq!(
             answer,
             Answer::NoSummary {

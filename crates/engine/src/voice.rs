@@ -17,7 +17,9 @@ use parking_lot::RwLock;
 use crate::extensions::ExtremumIndex;
 use crate::nlq::{Extractor, Request};
 use crate::pipeline::{self, Exec, PipelineContext};
-use crate::service::{Answer, RequestCounters, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT};
+use crate::service::{
+    Answer, Degradation, RequestCounters, ServiceResponse, TenantRuntime, NOTHING_TO_REPEAT,
+};
 
 /// Monotonic source of session ids — process-wide, so ids stay unique
 /// (and stable for the session's lifetime) across services and tenants.
@@ -141,15 +143,19 @@ impl VoiceSession {
                     extensions,
                     live,
                     exec: Exec::Inline,
+                    // Sessions are interactive turn-taking — no queueing,
+                    // so no deadline ladder; answers stay full-quality.
+                    deadline: None,
+                    solve: None,
                 };
-                let (answer, follow_on) = pipeline::answer(&analysis, text, &ctx);
+                let (answer, follow_on, _) = pipeline::answer(&analysis, text, &ctx);
                 self.last = Some(answer.clone());
                 (answer, follow_on)
             }
         };
         drop(shared);
         if let Some(counters) = &self.counters {
-            counters.record(&answer);
+            counters.record(&answer, Degradation::None);
         }
         ServiceResponse {
             tenant: self.tenant.clone(),
@@ -158,6 +164,7 @@ impl VoiceSession {
             follow_on,
             session: Some(self.id),
             latency_micros: start.elapsed().as_micros() as u64,
+            degradation: Degradation::None,
             answer,
         }
     }

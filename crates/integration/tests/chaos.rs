@@ -1,0 +1,396 @@
+//! Chaos suite: a sustained, seeded fault plan against a live serving
+//! front-end, plus the deterministic degradation-ladder acceptance
+//! checks.
+//!
+//! The randomized test drives waves of mixed traffic (deadline-free,
+//! budgeted, instantly-expiring, chunked, plus background refreshes and
+//! registrations) while a [`FaultPlan`] injects latency, panics, and
+//! forced solver timeouts at every site, then asserts the serving
+//! invariants:
+//!
+//! * every ticket completes — nothing hangs, nothing is lost;
+//! * the workers survive injected panics and keep serving;
+//! * the shed/expired/degraded/retried counters reconcile
+//!   (`submitted == completed + shed + expired`, and the front-end's
+//!   totals agree with the per-tenant roll-ups);
+//! * refreshes stay fail-atomic, so after the chaos the tenant's store
+//!   is byte-identical to a fault-free run's, and a fault-free rerun of
+//!   the same requests returns byte-identical answers.
+//!
+//! The fault schedule is a pure function of the seed (pinned in CI via
+//! `VQS_CHAOS_SEED`), so a failure reproduces by rerunning with the
+//! same seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vqs_data::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+
+const LONG_WAIT: Duration = Duration::from_secs(120);
+
+/// Pinned default; override with `VQS_CHAOS_SEED=<n>` to reproduce a CI
+/// failure locally or to explore other schedules.
+const DEFAULT_CHAOS_SEED: u64 = 20210411;
+
+fn chaos_seed() -> u64 {
+    std::env::var("VQS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CHAOS_SEED)
+}
+
+fn dataset(name: &str, seed: u64) -> GeneratedDataset {
+    SynthSpec {
+        name: name.to_string(),
+        dims: vec![
+            DimSpec::named("season", &["Winter", "Summer"]),
+            DimSpec::named("region", &["East", "West"]),
+        ],
+        targets: vec![TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0))],
+        rows: 160,
+    }
+    .generate(seed, 1.0)
+}
+
+fn config(name: &str) -> Configuration {
+    Configuration::new(name, &["season", "region"], &["delay"])
+}
+
+/// Deadline-free requests whose answers must be byte-identical across a
+/// fault-free service and a post-chaos, disarmed one. The last one hits
+/// the evicted (Winter, East) speech and must serve the same
+/// generalization both times.
+const PLAIN: &[&str] = &[
+    "delay in Winter?",
+    "delay in Summer?",
+    "delay in the East?",
+    "delay in the West?",
+    "delay in Winter in the East?",
+];
+
+/// The query whose stored speech both runs evict after registration: a
+/// deadline-carrying request for it exercises the live-solve rung of
+/// the degradation ladder (and its fault site) on every wave.
+fn evicted_query() -> Query {
+    Query::of("delay", &[("season", "Winter"), ("region", "East")])
+}
+
+/// Register the tenant and evict the (Winter, East) speech, simulating
+/// a store entry lost to memory pressure while the live rows remain.
+fn build_tenant(service: &VoiceService) {
+    service
+        .register_dataset(TenantSpec::new(
+            "chaos",
+            dataset("chaos", 17),
+            config("chaos"),
+        ))
+        .unwrap();
+    let store = service.tenant_store("chaos").unwrap();
+    store.remove(&evicted_query()).expect("speech was stored");
+}
+
+#[test]
+fn chaos_plan_preserves_serving_invariants() {
+    let seed = chaos_seed();
+
+    // ---- Fault-free reference: expected answers and store bytes. ----
+    let reference = ServiceBuilder::new().workers(2).build();
+    build_tenant(&reference);
+    reference
+        .refresh_tenant("chaos", &dataset("chaos", 17), &[])
+        .unwrap();
+    let expected_texts: Vec<String> = PLAIN
+        .iter()
+        .map(|utterance| {
+            let response = reference.respond(&ServiceRequest::new("chaos", *utterance));
+            assert!(response.answer.is_speech());
+            assert_eq!(response.degradation, Degradation::None);
+            response.text().to_string()
+        })
+        .collect();
+    let expected_store = reference.tenant_store("chaos").unwrap().snapshot();
+
+    // ---- The chaos run. ----
+    let plan = Arc::new(
+        FaultPlan::new(seed)
+            .rule(
+                FaultSite::Respond,
+                Fault::Latency(Duration::from_millis(2)),
+                0.20,
+            )
+            .rule(FaultSite::Respond, Fault::Panic, 0.05)
+            .rule(FaultSite::RespondSolve, Fault::SolverTimeout, 0.50)
+            .rule(FaultSite::RespondSolve, Fault::Panic, 0.05)
+            .rule(FaultSite::Refresh, Fault::SolverTimeout, 0.30)
+            .rule(
+                FaultSite::Refresh,
+                Fault::Latency(Duration::from_millis(2)),
+                0.20,
+            )
+            .rule(FaultSite::Register, Fault::SolverTimeout, 0.50),
+    );
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .workers(2)
+            .fault_plan(Arc::clone(&plan))
+            .build(),
+    );
+    build_tenant(&service);
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(2)
+        .queue_capacity(256)
+        .build();
+    plan.arm();
+
+    const WAVES: usize = 8;
+    let mut internal_answers = 0u64;
+    let mut degraded_answers = 0u64;
+    let mut zero_budget_total = 0u64;
+    let mut refresh_tickets = Vec::new();
+    let mut register_tickets = Vec::new();
+    for wave in 0..WAVES {
+        let mut tickets: Vec<ResponseTicket> = Vec::new();
+        // Deadline-free traffic: must never expire or degrade; a
+        // contained panic (typed Internal) is the only admissible
+        // fault effect.
+        for utterance in PLAIN {
+            tickets.push(frontend.submit(ServiceRequest::new("chaos", *utterance)));
+        }
+        // Budgeted traffic at the evicted combination: the generous
+        // budget never expires in-queue but routes through the
+        // live-solve rung, where injected solver timeouts degrade the
+        // answer to a greedy-built speech.
+        for _ in 0..3 {
+            tickets.push(
+                frontend.submit(
+                    ServiceRequest::new("chaos", "delay in Winter in the East?")
+                        .with_budget(Duration::from_secs(60)),
+                ),
+            );
+        }
+        // Instantly-expiring traffic: the deadline passes while queued,
+        // so the worker must complete these as Expired without
+        // computing anything.
+        for _ in 0..2 {
+            zero_budget_total += 1;
+            tickets.push(frontend.submit(
+                ServiceRequest::new("chaos", "delay in Summer?").with_budget(Duration::ZERO),
+            ));
+        }
+        // A mixed chunk (one ticket, per-request responses).
+        let chunk = frontend.submit_chunk(vec![
+            ServiceRequest::new("chaos", "delay in Winter?"),
+            ServiceRequest::new("chaos", "delay in the West?"),
+            ServiceRequest::new("chaos", "delay in Winter in the East?")
+                .with_budget(Duration::from_secs(60)),
+            ServiceRequest::new("chaos", "delay in Summer?"),
+        ]);
+        // Background control-lane traffic under faults: a no-op delta
+        // refresh (fail-atomic either way) and, on alternating waves, a
+        // fresh registration.
+        refresh_tickets.push(frontend.submit_refresh("chaos", dataset("chaos", 17), vec![]));
+        if wave % 2 == 0 {
+            register_tickets.push(frontend.submit_register(TenantSpec::new(
+                format!("extra{wave}"),
+                dataset("extra", 23 + wave as u64),
+                config("extra"),
+            )));
+        }
+
+        // Every ticket completes — a hang here is an invariant failure,
+        // surfaced as a timeout instead of a stuck suite.
+        for ticket in tickets {
+            let response = ticket
+                .wait_timeout(LONG_WAIT)
+                .expect("interactive ticket never completed under chaos");
+            if response.degradation != Degradation::None {
+                degraded_answers += 1;
+            }
+            match &response.answer {
+                Answer::Speech { .. } => {}
+                Answer::Internal { what } => {
+                    internal_answers += 1;
+                    assert!(what.contains("injected fault"), "unexpected panic: {what}");
+                }
+                Answer::Expired { tenant, .. } => assert_eq!(tenant, "chaos"),
+                other => panic!("unexpected chaos answer {other:?}"),
+            }
+        }
+        for response in chunk
+            .wait_timeout(LONG_WAIT)
+            .expect("chunk ticket never completed under chaos")
+        {
+            if response.degradation != Degradation::None {
+                degraded_answers += 1;
+            }
+            match &response.answer {
+                Answer::Speech { .. } => {}
+                Answer::Internal { what } => {
+                    internal_answers += 1;
+                    assert!(what.contains("injected fault"), "unexpected panic: {what}");
+                }
+                other => panic!("unexpected chunk answer {other:?}"),
+            }
+        }
+    }
+    // Background tickets complete with Ok or a typed error — injected
+    // faults on the control lane surface as EngineError::Internal after
+    // the bounded retries are exhausted, never as a hang or a panic.
+    for ticket in refresh_tickets {
+        match ticket
+            .wait_timeout(LONG_WAIT)
+            .expect("refresh ticket never completed under chaos")
+        {
+            Ok(report) => assert_eq!(report.removed, 0),
+            Err(EngineError::Internal { what }) => {
+                assert!(
+                    what.contains("injected"),
+                    "unexpected refresh error: {what}"
+                )
+            }
+            Err(other) => panic!("unexpected refresh error {other:?}"),
+        }
+    }
+    for ticket in register_tickets {
+        match ticket
+            .wait_timeout(LONG_WAIT)
+            .expect("register ticket never completed under chaos")
+        {
+            Ok(report) => assert!(report.speeches > 0),
+            Err(EngineError::Internal { what }) => {
+                assert!(
+                    what.contains("injected"),
+                    "unexpected register error: {what}"
+                )
+            }
+            Err(other) => panic!("unexpected register error {other:?}"),
+        }
+    }
+    plan.disarm();
+    assert!(
+        plan.injected() > 0,
+        "the plan never fired — not a chaos run"
+    );
+
+    // ---- Counters reconcile. ----
+    let stats = frontend.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.shed + stats.expired,
+        "submitted != completed + shed + expired: {stats:?}"
+    );
+    assert_eq!(stats.shed, 0, "nothing should shed below capacity");
+    assert_eq!(stats.expired, zero_budget_total);
+    assert_eq!(stats.degraded, degraded_answers);
+    assert_eq!(stats.contained_panics, internal_answers);
+    assert_eq!(stats.background_completed, stats.background_submitted);
+    assert!(
+        stats.retried_background <= 2 * stats.background_submitted,
+        "more retries than the per-job bound allows: {stats:?}"
+    );
+    // The front-end's totals agree with the tenant's own roll-up: all
+    // expired and degraded traffic addressed the chaos tenant.
+    let service_stats = service.stats();
+    let tenant = service_stats
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "chaos")
+        .unwrap();
+    assert_eq!(tenant.expired_requests, stats.expired);
+    assert_eq!(tenant.degraded_answers, stats.degraded);
+
+    // ---- Post-chaos: workers alive, behavior byte-identical. ----
+    for (utterance, expected) in PLAIN.iter().zip(&expected_texts) {
+        let response = frontend
+            .submit(ServiceRequest::new("chaos", *utterance))
+            .wait_timeout(LONG_WAIT)
+            .expect("post-chaos ticket never completed");
+        assert!(response.answer.is_speech(), "worker did not survive chaos");
+        assert_eq!(response.degradation, Degradation::None);
+        assert_eq!(response.text(), expected, "answer drifted after chaos");
+    }
+    // Refreshes were fail-atomic no-ops either way: the store holds
+    // exactly the bytes of the fault-free run.
+    let store = service.tenant_store("chaos").unwrap();
+    assert_eq!(
+        store.snapshot(),
+        expected_store,
+        "store drifted under chaos"
+    );
+    frontend.shutdown();
+}
+
+/// The acceptance check for the degradation ladder: a deadline-carrying
+/// request whose budgeted live solve is forced to time out must come
+/// back as a *greedy-degraded speech* — tier stamped — not an apology,
+/// while the same request with no budget left degrades to the stored
+/// generalization and a deadline-free request keeps the exact pre-PR
+/// behavior.
+#[test]
+fn deadline_pressured_request_degrades_to_greedy_not_apology() {
+    use vqs_core::prelude::ExactSummarizer;
+    let plan =
+        Arc::new(FaultPlan::new(1).rule_every(FaultSite::RespondSolve, Fault::SolverTimeout, 1));
+    let service = ServiceBuilder::new()
+        .workers(1)
+        .summarizer(ExactSummarizer::paper())
+        .fault_plan(Arc::clone(&plan))
+        .build();
+    build_tenant(&service);
+
+    // Deadline-free baseline: the evicted combination generalizes (one
+    // predicate kept), full quality — byte-for-byte the pre-deadline
+    // behavior.
+    let request = ServiceRequest::new("chaos", "delay in Winter in the East?");
+    let response = service.respond(&request);
+    assert_eq!(response.degradation, Degradation::None);
+    match &response.answer {
+        Answer::Speech {
+            kept_predicates, ..
+        } => assert_eq!(*kept_predicates, Some(1)),
+        other => panic!("expected generalized speech, got {other:?}"),
+    }
+
+    // With budget and no faults: the live exact solve answers the full
+    // two-predicate query at full quality.
+    let response = service.respond(&request.clone().with_budget(Duration::from_secs(60)));
+    assert_eq!(response.degradation, Degradation::None);
+    match &response.answer {
+        Answer::Speech {
+            kept_predicates, ..
+        } => assert_eq!(*kept_predicates, None, "live solve answers exactly"),
+        other => panic!("expected live-solved speech, got {other:?}"),
+    }
+
+    // Deadline pressure: the armed plan forces the budgeted exact solve
+    // to time out mid-request. The answer steps down to a greedy-built
+    // speech for the *exact* query — stamped Greedy — instead of
+    // apologizing.
+    plan.arm();
+    let response = service.respond(&request.clone().with_budget(Duration::from_secs(60)));
+    plan.disarm();
+    assert_eq!(response.degradation, Degradation::Greedy);
+    match &response.answer {
+        Answer::Speech {
+            kept_predicates, ..
+        } => assert_eq!(*kept_predicates, None, "greedy still answers exactly"),
+        other => panic!("expected a degraded speech, not an apology: {other:?}"),
+    }
+
+    // No budget at all: nothing is computed; the stored generalization
+    // is served and stamped StoreOnly.
+    let response = service.respond(&request.clone().with_budget(Duration::ZERO));
+    assert_eq!(response.degradation, Degradation::StoreOnly);
+    match &response.answer {
+        Answer::Speech {
+            kept_predicates, ..
+        } => assert_eq!(*kept_predicates, Some(1)),
+        other => panic!("expected the stored generalization, got {other:?}"),
+    }
+
+    // The tenant's counters saw the two degraded answers.
+    let stats = service.stats();
+    let tenant = stats.tenants.iter().find(|t| t.tenant == "chaos").unwrap();
+    assert_eq!(tenant.degraded_answers, 2);
+}
