@@ -1,0 +1,311 @@
+//! Streaming-ingestion perf trajectory recorder: drives live [`RowDelta`]
+//! traffic through `VoiceService::ingest` while reader threads keep
+//! answering voice queries, and emits `BENCH_streaming.json` with three
+//! sections:
+//!
+//! * `baseline` — respond p50/p99 over the tenant with the ingest log
+//!   idle (the no-ingest reference the acceptance bar is measured
+//!   against).
+//! * `streaming` — the same respond workload racing a writer that
+//!   applies dimension-only row updates at maximum rate: sustained
+//!   updates/s (deltas applied / writer wall time), the respond
+//!   percentiles under ingest, and `p99_ratio_vs_baseline` (the
+//!   acceptance bar is ≤ 2.0).
+//! * `convergence` — after the log drains, the store must be
+//!   byte-identical to a cold pre-processing of the final table; the
+//!   bench *asserts* this (CI's smoke run is the convergence proof) and
+//!   records the outcome.
+//!
+//! CI runs it as a smoke step (valid JSON, no perf thresholds); the
+//! committed baseline forms the trajectory across PRs.
+//!
+//! Usage: `bench_streaming [--out PATH] [--rows N] [--requests N]
+//! [--threads T] [--workers W] [--deltas N] [--batch N]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vqs_data::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};
+use vqs_engine::prelude::*;
+use vqs_relalg::prelude::{Table, Value};
+
+const SEASONS: [&str; 4] = ["Winter", "Spring", "Summer", "Autumn"];
+const REGIONS: [&str; 4] = ["North", "East", "South", "West"];
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted_micros.len() - 1) as f64).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+fn dataset(rows: usize) -> GeneratedDataset {
+    SynthSpec {
+        name: "stream".to_string(),
+        dims: vec![
+            DimSpec::named("season", &SEASONS),
+            DimSpec::named("region", &REGIONS),
+        ],
+        targets: vec![TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0))],
+        rows,
+    }
+    .generate(0xBEE5, 1.0)
+}
+
+/// The respond workload: every single-dimension slice plus every
+/// two-predicate combination, all answerable from the store.
+fn utterances() -> Vec<String> {
+    let mut texts = Vec::new();
+    for season in SEASONS {
+        texts.push(format!("delay in {season}?"));
+    }
+    for region in REGIONS {
+        texts.push(format!("delay in the {region}?"));
+    }
+    for season in SEASONS {
+        for region in REGIONS {
+            texts.push(format!("delay in {season} in the {region}?"));
+        }
+    }
+    texts
+}
+
+/// Run `threads` readers for `requests` responds each; returns the
+/// merged, sorted per-request latencies in microseconds.
+fn run_readers(
+    service: &VoiceService,
+    texts: &[String],
+    threads: usize,
+    requests: usize,
+) -> Vec<u64> {
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(requests);
+                    for round in 0..requests {
+                        let text = &texts[(worker * 7919 + round) % texts.len()];
+                        let start = Instant::now();
+                        let response = service.respond(&ServiceRequest::new("stream", text));
+                        latencies.push(start.elapsed().as_micros() as u64);
+                        assert!(response.answer.is_speech(), "reader lost its speech");
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    latencies.sort_unstable();
+    latencies
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut rows = 2_000usize;
+    let mut requests = 1_500usize;
+    let mut threads = 3usize;
+    let mut workers = 3usize;
+    let mut deltas = 2_000usize;
+    let mut batch = 8usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--rows" => rows = value("--rows").parse().expect("numeric count"),
+            "--requests" => requests = value("--requests").parse().expect("numeric count"),
+            "--threads" => threads = value("--threads").parse().expect("numeric count"),
+            "--workers" => workers = value("--workers").parse().expect("numeric count"),
+            "--deltas" => deltas = value("--deltas").parse().expect("numeric count"),
+            "--batch" => {
+                batch = value("--batch")
+                    .parse::<usize>()
+                    .expect("numeric count")
+                    .max(1)
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // ---- Fixture: one streaming tenant; the mirror row vector drives
+    // both delta generation and the convergence reference.
+    let base = dataset(rows);
+    let mut mirror: Vec<Vec<Value>> = base.table.iter_rows().collect();
+    let service = Arc::new(ServiceBuilder::new().workers(workers).build());
+    service
+        .register_dataset(
+            TenantSpec::new(
+                "stream",
+                base.clone(),
+                Configuration::new("stream", &["season", "region"], &["delay"]),
+            )
+            .ingest(
+                IngestBuilder::new()
+                    .max_dirty(64)
+                    .flush_interval(std::time::Duration::from_millis(2)),
+            ),
+        )
+        .expect("registration succeeds");
+    let texts = utterances();
+
+    // ---- Baseline: respond percentiles with the ingest log idle.
+    let start = Instant::now();
+    let baseline = run_readers(&service, &texts, threads, requests);
+    let baseline_secs = start.elapsed().as_secs_f64();
+    let baseline_total = threads * requests;
+    let baseline_p99 = percentile(&baseline, 0.99);
+
+    // ---- Streaming: the same respond workload racing a full-rate
+    // writer. Updates are dimension-only (each flips one row's region,
+    // keeping season and delay), so the global target mean is
+    // bit-stable and the incremental circuit re-solves only the dirtied
+    // subsets.
+    let region_index = |value: &Value| -> usize {
+        let name = value.as_str().expect("region is a string");
+        REGIONS
+            .iter()
+            .position(|r| *r == name)
+            .expect("known region")
+    };
+    let mut writer_batches: Vec<Vec<RowDelta>> = Vec::with_capacity(deltas / batch + 1);
+    let mut pending: Vec<RowDelta> = Vec::with_capacity(batch);
+    for j in 0..deltas {
+        let row = j % mirror.len();
+        let next = REGIONS[(region_index(&mirror[row][1]) + 1) % REGIONS.len()];
+        mirror[row][1] = Value::str(next);
+        pending.push(RowDelta::Update {
+            row,
+            values: mirror[row].clone(),
+        });
+        if pending.len() == batch {
+            writer_batches.push(std::mem::take(&mut pending));
+        }
+    }
+    if !pending.is_empty() {
+        writer_batches.push(pending);
+    }
+
+    let start = Instant::now();
+    let (streaming, writer_secs, flushes) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let begin = Instant::now();
+            let mut flushes = 0usize;
+            for deltas in &writer_batches {
+                let report = service.ingest("stream", deltas).expect("ingest accepted");
+                if report.flush.is_some() {
+                    flushes += 1;
+                }
+            }
+            (begin.elapsed().as_secs_f64(), flushes)
+        });
+        let streaming = run_readers(&service, &texts, threads, requests);
+        let (writer_secs, flushes) = writer.join().unwrap();
+        (streaming, writer_secs, flushes)
+    });
+    let streaming_secs = start.elapsed().as_secs_f64();
+    let streaming_p99 = percentile(&streaming, 0.99);
+    let updates_per_sec = deltas as f64 / writer_secs.max(1e-9);
+
+    // ---- Convergence: drain, then the store must hold exactly the
+    // bytes a cold pre-processing of the mirror table produces.
+    let flush = service.drain_ingest("stream").expect("drain succeeds");
+    let final_dataset = GeneratedDataset {
+        name: base.name.clone(),
+        table: Table::from_rows(base.table.schema().clone(), mirror).expect("mirror stays valid"),
+        dims: base.dims.clone(),
+        targets: base.targets.clone(),
+    };
+    let cold = ServiceBuilder::new().workers(workers).build();
+    cold.register_dataset(TenantSpec::new(
+        "stream",
+        final_dataset,
+        Configuration::new("stream", &["season", "region"], &["delay"]),
+    ))
+    .expect("cold registration succeeds");
+    let live_snapshot = service.tenant_store("stream").unwrap().snapshot();
+    let converged = live_snapshot == cold.tenant_store("stream").unwrap().snapshot();
+    assert!(converged, "drained store diverged from cold preprocess");
+
+    let stats = service.stats();
+    let tenant = &stats.tenants[0];
+    assert_eq!(tenant.deltas_applied, deltas as u64);
+    assert_eq!(tenant.ingest_lag, 0);
+
+    let mut lines = Vec::new();
+    lines.push("{".to_string());
+    lines.push("  \"schema\": \"vqs-bench-streaming/v1\",".to_string());
+    lines.push(format!("  \"rows\": {rows},"));
+    lines.push(format!("  \"workers\": {workers},"));
+    lines.push(format!("  \"threads\": {threads},"));
+    lines.push("  \"baseline\": {".to_string());
+    lines.push(format!("    \"requests\": {baseline_total},"));
+    lines.push(format!("    \"wall_ms\": {:.3},", baseline_secs * 1e3));
+    lines.push(format!(
+        "    \"requests_per_sec\": {:.0},",
+        baseline_total as f64 / baseline_secs.max(1e-9)
+    ));
+    lines.push(format!(
+        "    \"p50_micros\": {},",
+        percentile(&baseline, 0.50)
+    ));
+    lines.push(format!("    \"p99_micros\": {baseline_p99}"));
+    lines.push("  },".to_string());
+    lines.push("  \"streaming\": {".to_string());
+    lines.push(format!("    \"deltas\": {deltas},"));
+    lines.push(format!("    \"batch\": {batch},"));
+    lines.push(format!("    \"flushes\": {flushes},"));
+    lines.push(format!("    \"updates_per_sec\": {updates_per_sec:.0},"));
+    lines.push(format!("    \"writer_wall_ms\": {:.3},", writer_secs * 1e3));
+    lines.push(format!("    \"requests\": {baseline_total},"));
+    lines.push(format!("    \"wall_ms\": {:.3},", streaming_secs * 1e3));
+    lines.push(format!(
+        "    \"p50_micros\": {},",
+        percentile(&streaming, 0.50)
+    ));
+    lines.push(format!("    \"p99_micros\": {streaming_p99},"));
+    lines.push(format!(
+        "    \"p99_ratio_vs_baseline\": {:.3},",
+        streaming_p99 as f64 / (baseline_p99.max(1)) as f64
+    ));
+    lines.push(format!(
+        "    \"summaries_invalidated\": {},",
+        tenant.summaries_invalidated
+    ));
+    lines.push(format!(
+        "    \"summaries_resummarized\": {}",
+        tenant.summaries_resummarized
+    ));
+    lines.push("  },".to_string());
+    lines.push("  \"convergence\": {".to_string());
+    lines.push(format!("    \"converged\": {converged},"));
+    lines.push(format!("    \"drain_deltas\": {},", flush.deltas));
+    lines.push(format!("    \"store_entries\": {}", live_snapshot.len()));
+    lines.push("  }".to_string());
+    lines.push("}".to_string());
+    let mut json = lines.join("\n");
+    json.push('\n');
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write BENCH_streaming.json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

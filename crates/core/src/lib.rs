@@ -47,6 +47,7 @@
 
 pub mod algorithms;
 pub mod complexity;
+pub mod delta;
 pub mod enumeration;
 pub mod error;
 pub mod instrument;
@@ -60,6 +61,7 @@ pub mod prelude {
         PruneOptimizerConfig, ScopedExecutor, SearchExecutor, Summarizer, Summary,
         DEFAULT_FAN_OUT_THRESHOLD,
     };
+    pub use crate::delta::{mask_dims, masked_combo, subset_masks};
     pub use crate::enumeration::{FactCatalog, FactGroup};
     pub use crate::error::{CoreError, Result};
     pub use crate::instrument::Instrumentation;

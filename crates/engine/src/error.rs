@@ -42,6 +42,18 @@ pub enum EngineError {
         /// The panic payload, when it was a string.
         what: String,
     },
+    /// A streaming-ingestion operation addressed a tenant that was
+    /// registered without [`crate::ingest::IngestBuilder`] enabled.
+    IngestDisabled {
+        /// The tenant name.
+        tenant: String,
+    },
+    /// A row delta failed validation; the whole batch was rejected
+    /// before any of it was applied.
+    InvalidDelta {
+        /// What was wrong with the delta.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -70,6 +82,15 @@ impl fmt::Display for EngineError {
             }
             EngineError::Internal { what } => {
                 write!(f, "a serving worker contained a panic: {what}")
+            }
+            EngineError::IngestDisabled { tenant } => {
+                write!(
+                    f,
+                    "tenant '{tenant}' was registered without streaming ingestion"
+                )
+            }
+            EngineError::InvalidDelta { detail } => {
+                write!(f, "rejected delta batch: {detail}")
             }
         }
     }

@@ -196,12 +196,12 @@ pub fn enumerate_queries(
 ) -> Vec<WorkItem> {
     let dim_count = relation.dim_count();
     let mut items = Vec::new();
-    for mask in 0u32..(1 << dim_count) {
-        let size = mask.count_ones() as usize;
-        if size > config.max_query_length {
-            continue;
-        }
-        let dims: Vec<usize> = (0..dim_count).filter(|&d| mask & (1 << d) != 0).collect();
+    // The admissible dimension subsets come from `vqs_core::delta`, the
+    // same definitions the streaming invalidation circuit maps deltas
+    // through — keeping "what exists" and "what a delta can dirty" in
+    // exact agreement.
+    for mask in subset_masks(dim_count, config.max_query_length) {
+        let dims = mask_dims(mask);
         // Partition rows by value combination on `dims`.
         let mut combos: FxHashMap<Vec<u32>, Vec<usize>> = FxHashMap::default();
         for row in 0..relation.len() {
@@ -585,7 +585,8 @@ pub(crate) fn preprocess_with<S: Summarizer + Sync + ?Sized>(
 /// pre-processing pass over the new data.
 /// Delta re-summarization over an explicit executor; the shared
 /// implementation behind
-/// [`crate::service::VoiceService::refresh_tenant`].
+/// [`crate::service::VoiceService::refresh_tenant`]. A thin wrapper over
+/// [`resummarize_with`] selecting queries by changed row membership.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
     dataset: &GeneratedDataset,
@@ -594,6 +595,61 @@ pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
     options: &PreprocessOptions,
     store: &SpeechStore,
     changed_rows: &[usize],
+    workers: Workers<'_>,
+) -> Result<RefreshReport> {
+    resummarize_with(
+        dataset,
+        config,
+        summarizer,
+        options,
+        store,
+        Invalidation::ChangedRows(changed_rows),
+        workers,
+    )
+}
+
+/// A normalized (sorted) predicate list identifying one value
+/// combination, exactly as [`Query::predicates`] stores them.
+pub(crate) type DirtyKey = Vec<(String, String)>;
+
+/// How a re-summarization pass decides which live queries are dirty.
+///
+/// Both the batch refresh path and the streaming ingest circuit funnel
+/// through [`resummarize_with`] with one of these selectors, so the two
+/// paths cannot diverge on invalidation semantics.
+pub(crate) enum Invalidation<'a> {
+    /// Row indexes (into the *new* data) that were mutated — the batch
+    /// `refresh` contract: any query whose subset contains a changed row
+    /// is recomputed.
+    ChangedRows(&'a [usize]),
+    /// Exact dirty predicate-combination keys produced by the streaming
+    /// invalidation circuit. Keys are normalized (sorted) predicate
+    /// lists, exactly as [`Query::predicates`] stores them: `all`
+    /// applies to every target (dimension-membership changes), the
+    /// per-target sets only to queries of that target (target-value
+    /// changes that left the global mean bit-identical).
+    DirtyKeys {
+        /// Combinations dirtied for every target.
+        all: &'a FxHashSet<DirtyKey>,
+        /// Combinations dirtied for a single target only.
+        by_target: &'a FxHashMap<String, FxHashSet<DirtyKey>>,
+    },
+}
+
+/// The shared re-summarization core: bring `store` up to date with
+/// `dataset`, recomputing only the queries `invalidation` marks dirty
+/// (plus the safety-net cases below), removing stored queries whose
+/// value combination vanished, and leaving every other entry
+/// `Arc`-pointer-stable. The store is only mutated after *every* dirty
+/// query solved, so a failed pass leaves it untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resummarize_with<S: Summarizer + Sync + ?Sized>(
+    dataset: &GeneratedDataset,
+    config: &Configuration,
+    summarizer: &S,
+    options: &PreprocessOptions,
+    store: &SpeechStore,
+    invalidation: Invalidation<'_>,
     workers: Workers<'_>,
 ) -> Result<RefreshReport> {
     config.validate()?;
@@ -606,12 +662,18 @@ pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
     let mut stale: Vec<Query> = Vec::new();
     for (plan_index, plan) in plans.iter().enumerate() {
         queries += plan.items.len();
-        let mut changed = vec![false; plan.relation.len()];
-        for &row in changed_rows {
-            if row < changed.len() {
-                changed[row] = true;
+        let changed: Option<Vec<bool>> = match &invalidation {
+            Invalidation::ChangedRows(rows) => {
+                let mut flags = vec![false; plan.relation.len()];
+                for &row in rows.iter() {
+                    if row < flags.len() {
+                        flags[row] = true;
+                    }
+                }
+                Some(flags)
             }
-        }
+            Invalidation::DirtyKeys { .. } => None,
+        };
         // The prior is recomputed deterministically from the data, so an
         // unchanged target column reproduces it bit-for-bit; any other
         // value means every kept speech of this target would embed a
@@ -630,8 +692,26 @@ pub(crate) fn refresh_with<S: Summarizer + Sync + ?Sized>(
             }
         }
         for (item_index, item) in plan.items.iter().enumerate() {
+            let data_dirty = match &invalidation {
+                Invalidation::ChangedRows(_) => {
+                    let flags = changed.as_ref().expect("flags built for ChangedRows");
+                    item.rows.iter().any(|&row| flags[row])
+                }
+                Invalidation::DirtyKeys { all, by_target } => {
+                    let key: &[(String, String)] = item.query.predicates();
+                    all.contains(key)
+                        || by_target
+                            .get(&plan.target)
+                            .is_some_and(|set| set.contains(key))
+                }
+            };
+            // The stored-speech checks are a safety net shared by both
+            // selectors: a missing entry covers combinations newly
+            // appearing in the data (or targets invalidated wholesale),
+            // a row-count mismatch covers rows that moved out of the
+            // subset.
             let affected = prior_drifted
-                || item.rows.iter().any(|&row| changed[row])
+                || data_dirty
                 || store
                     .get(&item.query)
                     .is_none_or(|existing| existing.rows != item.rows.len());

@@ -1,0 +1,675 @@
+//! Streaming ingestion: an incremental dataflow from row deltas to
+//! re-summarized speeches.
+//!
+//! The paper's pipeline is offline-then-online: §III pre-processes a
+//! *static* table into the speech store. This module makes a tenant's
+//! data mutable at runtime without ever taking the store out of service:
+//!
+//! 1. **Row log** — callers hand batches of [`RowDelta`]s to
+//!    [`crate::service::VoiceService::ingest`] (or
+//!    [`crate::service::FrontEnd::submit_ingest`], which rides the
+//!    serving front-end's background control lane). Every accepted delta
+//!    is stamped with a monotonically increasing per-tenant sequence
+//!    number and applied to the tenant's materialized table.
+//! 2. **Invalidation circuit** — each delta is mapped through the same
+//!    dimension-subset definitions the offline enumerator uses
+//!    (`vqs_core::delta`) to the exact set of `(query-subset, target)`
+//!    summaries it can invalidate, instead of re-diffing the dataset. A
+//!    dimension change dirties the row's old and new value combinations
+//!    for every target; a target-value change dirties only that target's
+//!    combinations. The §III constant prior (the global target mean) is
+//!    compared bit-for-bit at flush time, so any drift invalidates that
+//!    target wholesale — exactly the batch-refresh rule.
+//! 3. **Debounced re-summarizer** — invalidations coalesce per query
+//!    subset in a dirty set; the log is flushed through
+//!    `generator::resummarize_with` on the shared solver pool's Bulk
+//!    lane when the dirty set reaches [`IngestBuilder::max_dirty`] or
+//!    [`IngestBuilder::flush_interval`] elapses, rate-bounded by
+//!    [`IngestBuilder::max_solves_per_sec`]. Lookups keep serving the
+//!    last-good speech until its replacement is atomically swapped in.
+//!
+//! **Convergence contract:** once the log drains (every accepted seqno
+//! flushed), the store snapshot is byte-identical to a cold
+//! `preprocess` of the final table — the same contract the batch
+//! `refresh` path honors, enforced by funneling both paths through one
+//! shared invalidation/re-solve core.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use vqs_core::prelude::{masked_combo, subset_masks};
+use vqs_data::GeneratedDataset;
+use vqs_relalg::hash::{FxHashMap, FxHashSet};
+use vqs_relalg::prelude::{Schema, Table, Value};
+
+use crate::config::Configuration;
+use crate::error::{EngineError, Result};
+use crate::generator::DirtyKey;
+
+/// One row-level change to a tenant's data, interpreted against the
+/// table state produced by all previously accepted deltas.
+///
+/// Rows are full tuples in the registered dataset's column order.
+/// Indexes address the *current* materialized table: a `Delete` shifts
+/// every subsequent row down by one, exactly like `Vec::remove`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowDelta {
+    /// Append a new row.
+    Insert(Vec<Value>),
+    /// Replace the row at `row` wholesale.
+    Update {
+        /// Index of the row to replace.
+        row: usize,
+        /// The replacement tuple.
+        values: Vec<Value>,
+    },
+    /// Remove the row at `row` (subsequent rows shift down).
+    Delete {
+        /// Index of the row to remove.
+        row: usize,
+    },
+}
+
+/// Budget and backpressure configuration for one tenant's streaming
+/// ingestion, passed to
+/// [`TenantSpec::ingest`](crate::service::TenantSpec::ingest).
+#[derive(Debug, Clone)]
+pub struct IngestBuilder {
+    pub(crate) max_dirty: usize,
+    pub(crate) flush_interval: Duration,
+    pub(crate) max_solves_per_sec: u32,
+}
+
+impl Default for IngestBuilder {
+    fn default() -> IngestBuilder {
+        IngestBuilder::new()
+    }
+}
+
+impl IngestBuilder {
+    /// Start from the defaults: flush after 256 pending deltas or 50 ms,
+    /// with no re-solve rate cap.
+    pub fn new() -> IngestBuilder {
+        IngestBuilder {
+            max_dirty: 256,
+            flush_interval: Duration::from_millis(50),
+            max_solves_per_sec: 0,
+        }
+    }
+
+    /// Maximum pending (accepted but not yet re-summarized) deltas
+    /// before the accepting call flushes inline — the row log's bound,
+    /// and the backpressure mechanism: past it, ingestors pay for the
+    /// re-solve themselves. Clamped to at least 1. This bound overrides
+    /// the rate cap; the log may never grow without limit.
+    pub fn max_dirty(mut self, deltas: usize) -> IngestBuilder {
+        self.max_dirty = deltas.max(1);
+        self
+    }
+
+    /// Coalescing window: pending deltas also flush once this much time
+    /// passed since the last flush, so a trickle of updates reaches the
+    /// store without ever filling `max_dirty`.
+    pub fn flush_interval(mut self, interval: Duration) -> IngestBuilder {
+        self.flush_interval = interval;
+        self
+    }
+
+    /// Bound on the sustained re-summarization rate: after a flush that
+    /// re-solved `n` summaries, the next *automatic* flush is held back
+    /// for `n / rate` seconds. `0` (the default) means unbounded.
+    /// Forced drains and the `max_dirty` bound ignore the cap.
+    pub fn max_solves_per_sec(mut self, rate: u32) -> IngestBuilder {
+        self.max_solves_per_sec = rate;
+        self
+    }
+}
+
+/// Outcome of one accepted delta batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// Deltas accepted into the log by this call.
+    pub accepted: usize,
+    /// Sequence number stamped on the first accepted delta (0 when the
+    /// batch was empty).
+    pub first_seqno: u64,
+    /// Sequence number stamped on the last accepted delta (0 when the
+    /// batch was empty).
+    pub last_seqno: u64,
+    /// The flush this call performed inline, when the debounce window
+    /// closed or the dirty-set bound was hit; `None` when the batch only
+    /// coalesced into the pending set.
+    pub flush: Option<FlushReport>,
+}
+
+/// Outcome of one flush of the pending delta log into the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlushReport {
+    /// Deltas drained from the log by this flush.
+    pub deltas: u64,
+    /// Stored summaries this flush invalidated (re-solved or removed).
+    pub invalidated: usize,
+    /// Summaries re-solved and atomically swapped in.
+    pub resummarized: usize,
+    /// Stored summaries removed because their value combination
+    /// vanished from the data.
+    pub removed: usize,
+    /// Live summaries left untouched (`Arc`-pointer-stable).
+    pub kept: usize,
+    /// Wall-clock time of the flush.
+    pub elapsed: Duration,
+}
+
+impl FlushReport {
+    /// A flush that found an empty log and did nothing.
+    pub(crate) fn empty() -> FlushReport {
+        FlushReport {
+            deltas: 0,
+            invalidated: 0,
+            resummarized: 0,
+            removed: 0,
+            kept: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// Lifetime ingestion counters of one tenant, readable without the log
+/// lock (surfaced through
+/// [`TenantStats`](crate::service::TenantStats)).
+#[derive(Debug, Default)]
+pub(crate) struct IngestCounters {
+    pub(crate) deltas_applied: AtomicU64,
+    pub(crate) invalidated: AtomicU64,
+    pub(crate) resummarized: AtomicU64,
+    pub(crate) accepted_seqno: AtomicU64,
+    pub(crate) applied_seqno: AtomicU64,
+}
+
+impl IngestCounters {
+    /// Newest-accepted minus newest-applied sequence number: how far the
+    /// store trails the log.
+    pub(crate) fn lag(&self) -> u64 {
+        self.accepted_seqno
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.applied_seqno.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-tenant streaming state: options, the locked log/dirty-set, and
+/// the lock-free counters.
+#[derive(Debug)]
+pub(crate) struct IngestState {
+    pub(crate) options: IngestBuilder,
+    pub(crate) inner: Mutex<IngestInner>,
+    pub(crate) counters: IngestCounters,
+}
+
+impl IngestState {
+    /// Materialize `dataset` as the tenant's mutable table and wire the
+    /// invalidation circuit over `config`'s dimensions.
+    pub(crate) fn new(
+        options: IngestBuilder,
+        dataset: &GeneratedDataset,
+        config: &Configuration,
+    ) -> Result<IngestState> {
+        let schema = dataset.table.schema().clone();
+        let mut dim_cols = Vec::with_capacity(config.dimensions.len());
+        for dim in &config.dimensions {
+            dim_cols.push(schema.index_of(dim)?);
+        }
+        let mut target_cols = Vec::with_capacity(config.targets.len());
+        for target in &config.targets {
+            target_cols.push(schema.index_of(target)?);
+        }
+        let now = Instant::now();
+        let inner = IngestInner {
+            name: dataset.name.clone(),
+            dataset_dims: dataset.dims.clone(),
+            dataset_targets: dataset.targets.clone(),
+            dims: config.dimensions.clone(),
+            targets: config.targets.clone(),
+            dim_cols,
+            target_cols,
+            schema,
+            rows: dataset.table.iter_rows().collect(),
+            masks: subset_masks(config.dimensions.len(), config.max_query_length),
+            dirty_all: FxHashSet::default(),
+            dirty_by_target: FxHashMap::default(),
+            pending: 0,
+            accepted: 0,
+            applied: 0,
+            last_flush: now,
+            hold_until: now,
+        };
+        Ok(IngestState {
+            options,
+            inner: Mutex::new(inner),
+            counters: IngestCounters::default(),
+        })
+    }
+
+    /// Whether the debounce window of an *automatic* flush is open:
+    /// pending work, and either the dirty-set bound was hit (which
+    /// overrides the rate cap — the log stays bounded) or the coalescing
+    /// interval elapsed with the rate cap satisfied.
+    pub(crate) fn auto_flush_due(&self, inner: &IngestInner) -> bool {
+        if inner.pending == 0 {
+            return false;
+        }
+        if inner.pending >= self.options.max_dirty as u64 {
+            return true;
+        }
+        inner.last_flush.elapsed() >= self.options.flush_interval
+            && Instant::now() >= inner.hold_until
+    }
+}
+
+/// The locked half of [`IngestState`]: the materialized table, the
+/// pending seqno window, and the coalesced dirty sets.
+#[derive(Debug)]
+pub(crate) struct IngestInner {
+    name: String,
+    dataset_dims: Vec<String>,
+    dataset_targets: Vec<String>,
+    /// The configured predicate dimensions, in configuration order —
+    /// the circuit's dimension indexing.
+    dims: Vec<String>,
+    targets: Vec<String>,
+    dim_cols: Vec<usize>,
+    target_cols: Vec<usize>,
+    schema: Schema,
+    /// The materialized table: every accepted delta already applied.
+    rows: Vec<Vec<Value>>,
+    /// Admissible dimension-subset masks (shared with the enumerator).
+    masks: Vec<u32>,
+    /// Value combinations dirtied for every target, as normalized
+    /// (sorted) predicate lists.
+    dirty_all: FxHashSet<DirtyKey>,
+    /// Value combinations dirtied for a single target only.
+    dirty_by_target: FxHashMap<String, FxHashSet<DirtyKey>>,
+    /// Deltas accepted but not yet flushed into the store.
+    pub(crate) pending: u64,
+    /// Newest accepted sequence number (0 = none yet).
+    pub(crate) accepted: u64,
+    /// Newest sequence number reflected in the store.
+    pub(crate) applied: u64,
+    pub(crate) last_flush: Instant,
+    hold_until: Instant,
+}
+
+impl IngestInner {
+    /// Validate a whole batch against the running row count, *then*
+    /// apply every delta to the materialized table and fold its dirty
+    /// keys into the coalesced sets. Validation is separated so a bad
+    /// delta rejects the batch before any of it is applied. Returns the
+    /// `(first, last)` sequence numbers stamped on the batch.
+    pub(crate) fn accept(&mut self, deltas: &[RowDelta]) -> Result<(u64, u64)> {
+        let mut count = self.rows.len();
+        for (offset, delta) in deltas.iter().enumerate() {
+            match delta {
+                RowDelta::Insert(values) => {
+                    self.validate_row(values, offset)?;
+                    count += 1;
+                }
+                RowDelta::Update { row, values } => {
+                    self.validate_index(*row, count, offset)?;
+                    self.validate_row(values, offset)?;
+                }
+                RowDelta::Delete { row } => {
+                    self.validate_index(*row, count, offset)?;
+                    count -= 1;
+                }
+            }
+        }
+        let first = self.accepted + 1;
+        for delta in deltas {
+            self.apply(delta);
+            self.accepted += 1;
+            self.pending += 1;
+        }
+        Ok((first, self.accepted))
+    }
+
+    /// Arity, nullability, and column-type checks mirroring
+    /// [`Table::push_row`], plus the circuit's own requirements: no NULL
+    /// dimensions, numeric non-NULL targets (the relation encoder would
+    /// reject them later, after acceptance — too late).
+    fn validate_row(&self, values: &[Value], offset: usize) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(EngineError::InvalidDelta {
+                detail: format!(
+                    "delta #{offset}: row arity {} does not match schema arity {}",
+                    values.len(),
+                    self.schema.len()
+                ),
+            });
+        }
+        for (value, field) in values.iter().zip(self.schema.fields()) {
+            if value.is_null() && !field.nullable {
+                return Err(EngineError::InvalidDelta {
+                    detail: format!(
+                        "delta #{offset}: NULL in non-nullable column '{}'",
+                        field.name
+                    ),
+                });
+            }
+            if !value.fits(field.ty) {
+                return Err(EngineError::InvalidDelta {
+                    detail: format!(
+                        "delta #{offset}: {} value does not fit column '{}'",
+                        value.type_name(),
+                        field.name
+                    ),
+                });
+            }
+        }
+        for (&col, dim) in self.dim_cols.iter().zip(&self.dims) {
+            if values[col].is_null() {
+                return Err(EngineError::InvalidDelta {
+                    detail: format!("delta #{offset}: NULL dimension value in '{dim}'"),
+                });
+            }
+        }
+        for (&col, target) in self.target_cols.iter().zip(&self.targets) {
+            if values[col].as_f64().is_none() {
+                return Err(EngineError::InvalidDelta {
+                    detail: format!("delta #{offset}: non-numeric target value in '{target}'"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_index(&self, row: usize, count: usize, offset: usize) -> Result<()> {
+        if row >= count {
+            return Err(EngineError::InvalidDelta {
+                detail: format!("delta #{offset}: row index {row} out of bounds ({count} rows)"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Apply one validated delta and mark the dirty keys it produces.
+    fn apply(&mut self, delta: &RowDelta) {
+        match delta {
+            RowDelta::Insert(values) => {
+                // Membership of every subset containing the new row
+                // changes (and the prior drifts anyway).
+                let dims = self.dim_values(values);
+                self.mark_all(&dims);
+                self.rows.push(values.clone());
+            }
+            RowDelta::Update { row, values } => {
+                let old_dims = self.dim_values(&self.rows[*row]);
+                let new_dims = self.dim_values(values);
+                if old_dims != new_dims {
+                    // The row moved between subsets: both its old and
+                    // new combinations change content, for every target
+                    // (facts scope over dimensions regardless of which
+                    // target a summary describes).
+                    self.mark_all(&old_dims);
+                    self.mark_all(&new_dims);
+                } else {
+                    // Same subsets; only targets whose value changed
+                    // have summaries with changed content.
+                    let changed: Vec<String> = self
+                        .target_cols
+                        .iter()
+                        .zip(&self.targets)
+                        .filter(|&(&col, _)| self.rows[*row][col] != values[col])
+                        .map(|(_, target)| target.clone())
+                        .collect();
+                    for target in changed {
+                        self.mark_target(&target, &old_dims);
+                    }
+                }
+                self.rows[*row] = values.clone();
+            }
+            RowDelta::Delete { row } => {
+                let old = self.rows.remove(*row);
+                let dims = self.dim_values(&old);
+                self.mark_all(&dims);
+            }
+        }
+    }
+
+    /// The row's value on every circuit dimension, stringified exactly
+    /// as the relation encoder does (so dirty keys compare equal to
+    /// enumerated predicates). NULLs cannot occur here: inserts are
+    /// validated and the registered table already passed the encoder.
+    fn dim_values(&self, values: &[Value]) -> Vec<String> {
+        self.dim_cols
+            .iter()
+            .map(|&col| match &values[col] {
+                Value::Str(s) => s.to_string(),
+                Value::Null => unreachable!("materialized rows have non-NULL dimensions"),
+                other => other.to_string(),
+            })
+            .collect()
+    }
+
+    /// Mark every admissible combination of `dim_values` dirty for all
+    /// targets.
+    fn mark_all(&mut self, dim_values: &[String]) {
+        for &mask in &self.masks {
+            let key = self.combo_key(dim_values, mask);
+            self.dirty_all.insert(key);
+        }
+    }
+
+    /// Mark every admissible combination of `dim_values` dirty for one
+    /// target.
+    fn mark_target(&mut self, target: &str, dim_values: &[String]) {
+        let mut keys = Vec::with_capacity(self.masks.len());
+        for &mask in &self.masks {
+            keys.push(self.combo_key(dim_values, mask));
+        }
+        self.dirty_by_target
+            .entry(target.to_string())
+            .or_default()
+            .extend(keys);
+    }
+
+    /// The normalized predicate list of one `(row, mask)` pair — sorted
+    /// by dimension name, exactly as [`crate::problem::Query`] stores
+    /// predicates.
+    fn combo_key(&self, dim_values: &[String], mask: u32) -> Vec<(String, String)> {
+        let mut key: Vec<(String, String)> = masked_combo(dim_values, mask)
+            .into_iter()
+            .map(|(d, value)| (self.dims[d].clone(), value))
+            .collect();
+        key.sort();
+        key
+    }
+
+    /// Materialize the current table as a dataset for the re-summarizer
+    /// (and the runtime rebuild).
+    pub(crate) fn dataset(&self) -> Result<GeneratedDataset> {
+        let table = Table::from_rows(self.schema.clone(), self.rows.iter().cloned())?;
+        Ok(GeneratedDataset {
+            name: self.name.clone(),
+            table,
+            dims: self.dataset_dims.clone(),
+            targets: self.dataset_targets.clone(),
+        })
+    }
+
+    /// The coalesced dirty sets, for `generator::Invalidation::DirtyKeys`.
+    pub(crate) fn dirty(
+        &self,
+    ) -> (
+        &FxHashSet<DirtyKey>,
+        &FxHashMap<String, FxHashSet<DirtyKey>>,
+    ) {
+        (&self.dirty_all, &self.dirty_by_target)
+    }
+
+    /// Book-keeping after a successful flush that re-solved `solves`
+    /// summaries: the log is drained, the dirty sets cleared, and the
+    /// rate-cap gate advanced.
+    pub(crate) fn drained(&mut self, solves: usize, max_solves_per_sec: u32) {
+        self.pending = 0;
+        self.applied = self.accepted;
+        self.dirty_all.clear();
+        self.dirty_by_target.clear();
+        self.last_flush = Instant::now();
+        self.hold_until = if max_solves_per_sec > 0 {
+            self.last_flush + Duration::from_secs_f64(solves as f64 / f64::from(max_solves_per_sec))
+        } else {
+            self.last_flush
+        };
+    }
+
+    /// The caller handed an authoritative full dataset (a batch
+    /// `refresh`): it replaces the materialized table, and everything
+    /// pending is considered applied by that refresh.
+    pub(crate) fn reset_from(&mut self, dataset: &GeneratedDataset) {
+        self.rows = dataset.table.iter_rows().collect();
+        self.schema = dataset.table.schema().clone();
+        self.name = dataset.name.clone();
+        self.dataset_dims = dataset.dims.clone();
+        self.dataset_targets = dataset.targets.clone();
+        self.drained(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> IngestState {
+        use vqs_data::{DimSpec, SynthSpec, TargetSpec};
+        let dataset = SynthSpec {
+            name: "ingest".to_string(),
+            dims: vec![
+                DimSpec::named("season", &["Winter", "Summer"]),
+                DimSpec::named("region", &["East", "West"]),
+            ],
+            targets: vec![TargetSpec::new("delay", 15.0, 8.0, 2.0, (0.0, 60.0))],
+            rows: 8,
+        }
+        .generate(11, 1.0);
+        let config = Configuration::new("ingest", &["season", "region"], &["delay"]);
+        IngestState::new(IngestBuilder::new(), &dataset, &config).unwrap()
+    }
+
+    fn row(season: &str, region: &str, delay: f64) -> Vec<Value> {
+        vec![Value::str(season), Value::str(region), Value::Float(delay)]
+    }
+
+    #[test]
+    fn batches_validate_before_applying() {
+        let state = state();
+        let mut inner = state.inner.lock();
+        let before = inner.rows.len();
+        // Second delta is out of bounds: nothing of the batch applies.
+        let err = inner
+            .accept(&[
+                RowDelta::Insert(row("Winter", "East", 12.0)),
+                RowDelta::Delete { row: 999 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidDelta { .. }));
+        assert_eq!(inner.rows.len(), before);
+        assert_eq!(inner.accepted, 0);
+
+        let err = inner
+            .accept(&[RowDelta::Insert(vec![Value::Null])])
+            .unwrap_err();
+        assert!(err.to_string().contains("arity"));
+        let err = inner
+            .accept(&[RowDelta::Insert(vec![
+                Value::Null,
+                Value::str("East"),
+                Value::Float(1.0),
+            ])])
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL"));
+    }
+
+    #[test]
+    fn delete_shifts_indexes_like_vec_remove() {
+        let state = state();
+        let mut inner = state.inner.lock();
+        let second = inner.rows[1].clone();
+        let (first, last) = inner.accept(&[RowDelta::Delete { row: 0 }]).unwrap();
+        assert_eq!((first, last), (1, 1));
+        assert_eq!(inner.rows[0], second);
+        assert_eq!(inner.pending, 1);
+    }
+
+    #[test]
+    fn dimension_change_dirties_old_and_new_combos_for_all_targets() {
+        let state = state();
+        let mut inner = state.inner.lock();
+        let mut moved = inner.rows[0].clone();
+        let old_season = moved[0].as_str().unwrap().to_string();
+        let new_season = if old_season == "Winter" {
+            "Winter2"
+        } else {
+            "Winter"
+        };
+        moved[0] = Value::str(new_season);
+        inner
+            .accept(&[RowDelta::Update {
+                row: 0,
+                values: moved,
+            }])
+            .unwrap();
+        let (all, by_target) = inner.dirty();
+        assert!(by_target.is_empty());
+        // Overall query, both season combos, and the region combo.
+        assert!(all.contains(&Vec::new()));
+        assert!(all.contains(&vec![("season".to_string(), old_season)]));
+        assert!(all.contains(&vec![("season".to_string(), new_season.to_string())]));
+    }
+
+    #[test]
+    fn target_only_change_dirties_only_that_target() {
+        let state = state();
+        let mut inner = state.inner.lock();
+        let mut tweaked = inner.rows[0].clone();
+        tweaked[2] = Value::Float(99.5);
+        inner
+            .accept(&[RowDelta::Update {
+                row: 0,
+                values: tweaked,
+            }])
+            .unwrap();
+        let (all, by_target) = inner.dirty();
+        assert!(all.is_empty());
+        let dirty = &by_target["delay"];
+        assert!(dirty.contains(&Vec::new()));
+        assert_eq!(dirty.len(), 4); // overall, season, region, season×region
+    }
+
+    #[test]
+    fn drain_bookkeeping_and_rate_gate() {
+        let state = state();
+        let mut inner = state.inner.lock();
+        inner
+            .accept(&[RowDelta::Insert(row("Winter", "East", 5.0))])
+            .unwrap();
+        assert!(state.auto_flush_due(&inner) || inner.pending > 0);
+        inner.drained(10, 1);
+        assert_eq!(inner.pending, 0);
+        assert_eq!(inner.applied, inner.accepted);
+        assert!(inner.hold_until > inner.last_flush);
+        assert!(inner.dirty().0.is_empty());
+    }
+
+    #[test]
+    fn materialized_dataset_round_trips() {
+        let state = state();
+        let mut inner = state.inner.lock();
+        inner
+            .accept(&[RowDelta::Insert(row("Summer", "West", 1.0))])
+            .unwrap();
+        let dataset = inner.dataset().unwrap();
+        assert_eq!(dataset.table.len(), inner.rows.len());
+        inner.reset_from(&dataset);
+        assert_eq!(inner.pending, 0);
+    }
+}

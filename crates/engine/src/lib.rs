@@ -61,6 +61,7 @@ pub mod config;
 pub mod error;
 pub mod extensions;
 pub mod generator;
+pub mod ingest;
 pub mod logsim;
 pub mod nlq;
 pub mod pipeline;
@@ -79,6 +80,7 @@ pub mod prelude {
         configured_exact, configured_exact_on, enumerate_queries, solve_item, target_relation,
         PreprocessOptions, PreprocessReport, RefreshReport, WorkItem,
     };
+    pub use crate::ingest::{FlushReport, IngestBuilder, IngestReport, RowDelta};
     pub use crate::logsim::{
         complexity_histogram, generate_log, tabulate, LogEntry, RequestMix, FIG9_COMPLEXITY,
         FIG9_TYPES, TABLE3,
@@ -88,7 +90,7 @@ pub mod prelude {
     pub use crate::problem::{NamedFact, Query, StoredSpeech};
     pub use crate::service::{
         Answer, ChunkTicket, Degradation, Fault, FaultPlan, FaultSite, FrontEnd, FrontEndBuilder,
-        FrontEndStats, OverloadPolicy, RefreshTicket, RegisterTicket, ResponseTicket,
+        FrontEndStats, IngestTicket, OverloadPolicy, RefreshTicket, RegisterTicket, ResponseTicket,
         ScatterPriority, ServiceBuilder, ServiceRequest, ServiceResponse, ServiceStats, SolverPool,
         TaskTicket, TenantSpec, TenantStats, Ticket, Trigger, VoiceService,
     };

@@ -29,6 +29,11 @@ pub enum FaultSite {
     Refresh,
     /// Entry of [`register_dataset`](crate::service::VoiceService::register_dataset).
     Register,
+    /// Entry of [`ingest`](crate::service::VoiceService::ingest) (and
+    /// the other streaming-delta entry points), *before* any delta is
+    /// accepted into the log — so an injected fault never leaves a batch
+    /// partially applied, and a retried submission never double-applies.
+    Ingest,
 }
 
 impl FaultSite {
@@ -39,6 +44,7 @@ impl FaultSite {
             FaultSite::RespondSolve => "respond-solve",
             FaultSite::Refresh => "refresh",
             FaultSite::Register => "register",
+            FaultSite::Ingest => "ingest",
         }
     }
 
@@ -48,11 +54,12 @@ impl FaultSite {
             FaultSite::RespondSolve => 1,
             FaultSite::Refresh => 2,
             FaultSite::Register => 3,
+            FaultSite::Ingest => 4,
         }
     }
 }
 
-const SITE_COUNT: usize = 4;
+const SITE_COUNT: usize = 5;
 
 /// What an armed rule does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -85,6 +85,7 @@ use vqs_relalg::hash::FxHashMap;
 
 use crate::error::{EngineError, Result};
 use crate::generator::{PreprocessReport, RefreshReport};
+use crate::ingest::{IngestReport, RowDelta};
 use crate::pipeline::Exec;
 use crate::service::{
     Answer, Degradation, ServiceRequest, ServiceResponse, Tenant, TenantSpec, VoiceService,
@@ -276,6 +277,8 @@ pub type ChunkTicket = Ticket<Vec<ServiceResponse>>;
 pub type RegisterTicket = Ticket<Result<PreprocessReport>>;
 /// Ticket for a background [`FrontEnd::submit_refresh`].
 pub type RefreshTicket = Ticket<Result<RefreshReport>>;
+/// Ticket for a background [`FrontEnd::submit_ingest`].
+pub type IngestTicket = Ticket<Result<IngestReport>>;
 /// Ticket for a background [`FrontEnd::submit_task`].
 pub type TaskTicket = Ticket<()>;
 
@@ -465,6 +468,8 @@ struct Counters {
     background_submitted: AtomicU64,
     background_completed: AtomicU64,
     retried_background: AtomicU64,
+    ingest_submitted: AtomicU64,
+    ingest_deltas: AtomicU64,
     peak_queued: AtomicU64,
     contained_panics: AtomicU64,
     shed_by_tenant: Mutex<FxHashMap<String, u64>>,
@@ -515,6 +520,11 @@ pub struct FrontEndStats {
     /// once, so one job can contribute up to
     /// [`FrontEndBuilder::background_retries`].
     pub retried_background: u64,
+    /// Streaming-ingestion batches admitted via
+    /// [`FrontEnd::submit_ingest`] (a subset of `background_submitted`).
+    pub ingest_submitted: u64,
+    /// Row deltas carried by those admitted batches.
+    pub ingest_deltas: u64,
     /// Highest interactive queue depth observed at admission.
     pub peak_queued: u64,
     /// Interactive requests whose handling panicked; the panic was
@@ -1139,6 +1149,47 @@ impl FrontEnd {
         ticket
     }
 
+    /// Stream a batch of row deltas into a tenant in the background (the
+    /// control lane; the flush's solver batches ride the pool's bulk
+    /// lane so interactive solves always pass them). The ticket resolves
+    /// to [`VoiceService::ingest`]'s result. Panics and internal errors
+    /// are retried up to [`FrontEndBuilder::background_retries`] times —
+    /// safe because every injectable failure point precedes acceptance
+    /// ([`crate::service::FaultSite::Ingest`] fires before any delta is
+    /// stamped) and a failed flush leaves the accepted log intact, so a
+    /// retry never double-applies a batch.
+    pub fn submit_ingest(&self, tenant: impl Into<String>, deltas: Vec<RowDelta>) -> IngestTicket {
+        let tenant = tenant.into();
+        let ticket: IngestTicket = Ticket::pending();
+        let completion = ticket.clone();
+        let name = tenant.clone();
+        let retries = self.background_retries;
+        let backoff = self.retry_backoff;
+        let shared = Arc::clone(&self.shared);
+        let batch = deltas.len() as u64;
+        let job: BackgroundJob = Box::new(move |service| {
+            let outcome = run_with_retry(
+                retries,
+                backoff,
+                &shared.counters.retried_background,
+                || service.ingest(&name, &deltas),
+            );
+            completion.complete(outcome);
+        });
+        if self.submit_background(job).is_err() {
+            return Ticket::completed(Err(EngineError::Overloaded { tenant }));
+        }
+        self.shared
+            .counters
+            .ingest_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .ingest_deltas
+            .fetch_add(batch, Ordering::Relaxed);
+        ticket
+    }
+
     /// Run an arbitrary closure against the service on the control lane
     /// (evictions, stats dumps, maintenance). Subject to the same
     /// background admission control; the ticket completes after the
@@ -1184,6 +1235,8 @@ impl FrontEnd {
             background_submitted: counters.background_submitted.load(Ordering::Relaxed),
             background_completed: counters.background_completed.load(Ordering::Relaxed),
             retried_background: counters.retried_background.load(Ordering::Relaxed),
+            ingest_submitted: counters.ingest_submitted.load(Ordering::Relaxed),
+            ingest_deltas: counters.ingest_deltas.load(Ordering::Relaxed),
             peak_queued: counters.peak_queued.load(Ordering::Relaxed),
             contained_panics: counters.contained_panics.load(Ordering::Relaxed),
             shed_by_tenant,

@@ -39,8 +39,8 @@ pub mod pool;
 
 pub use faults::{Fault, FaultPlan, FaultSite, Trigger};
 pub use frontend::{
-    ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, OverloadPolicy, RefreshTicket,
-    RegisterTicket, ResponseTicket, TaskTicket, Ticket,
+    ChunkTicket, FrontEnd, FrontEndBuilder, FrontEndStats, IngestTicket, OverloadPolicy,
+    RefreshTicket, RegisterTicket, ResponseTicket, TaskTicket, Ticket,
 };
 pub use pool::{ScatterPriority, SolverPool};
 
@@ -59,9 +59,10 @@ use crate::config::Configuration;
 use crate::error::{EngineError, Result};
 use crate::extensions::ExtremumIndex;
 use crate::generator::{
-    preprocess_with, refresh_with, target_relation, PreprocessOptions, PreprocessReport,
-    RefreshReport, Workers,
+    preprocess_with, refresh_with, resummarize_with, target_relation, Invalidation,
+    PreprocessOptions, PreprocessReport, RefreshReport, Workers,
 };
+use crate::ingest::{FlushReport, IngestBuilder, IngestInner, IngestReport, IngestState, RowDelta};
 use crate::logsim::{tabulate, LogEntry};
 use crate::nlq::{Extractor, Request, Unsupported};
 use crate::pipeline::{self, ComputedValue, Exec, FollowOn, PipelineContext, QueryPlan};
@@ -318,6 +319,7 @@ pub struct TenantSpec {
     unavailable_markers: Vec<String>,
     extremum: Option<(String, String)>,
     default_deadline: Option<Duration>,
+    ingest: Option<IngestBuilder>,
 }
 
 impl TenantSpec {
@@ -338,6 +340,7 @@ impl TenantSpec {
             unavailable_markers: Vec::new(),
             extremum: None,
             default_deadline: None,
+            ingest: None,
         }
     }
 
@@ -389,6 +392,16 @@ impl TenantSpec {
     /// default ([`FrontEndBuilder::default_deadline`]).
     pub fn default_deadline(mut self, budget: Duration) -> TenantSpec {
         self.default_deadline = Some(budget);
+        self
+    }
+
+    /// Enable streaming ingestion for this tenant: the service retains a
+    /// materialized copy of the dataset and accepts row deltas through
+    /// [`VoiceService::ingest`] / [`FrontEnd::submit_ingest`], debounced
+    /// and re-summarized per `options` (see
+    /// [`crate::ingest`] for the dataflow and its convergence contract).
+    pub fn ingest(mut self, options: IngestBuilder) -> TenantSpec {
+        self.ingest = Some(options);
         self
     }
 }
@@ -495,6 +508,10 @@ pub(crate) struct Tenant {
     runtime: Arc<RwLock<TenantRuntime>>,
     rollup: Mutex<TenantRollup>,
     counters: Arc<RequestCounters>,
+    /// Streaming-ingestion state (the materialized table, delta log, and
+    /// dirty sets); `None` unless the tenant opted in via
+    /// [`TenantSpec::ingest`].
+    ingest: Option<IngestState>,
 }
 
 impl Tenant {
@@ -573,6 +590,19 @@ pub struct TenantStats {
     pub recomputed: u64,
     /// Speeches removed across all refreshes.
     pub removed: u64,
+    /// Row deltas drained into the store through streaming-ingestion
+    /// flushes (zero for tenants without [`TenantSpec::ingest`]).
+    pub deltas_applied: u64,
+    /// Stored summaries invalidated (re-solved or removed) by
+    /// streaming-ingestion flushes.
+    pub summaries_invalidated: u64,
+    /// Summaries re-solved and swapped in by streaming-ingestion
+    /// flushes.
+    pub summaries_resummarized: u64,
+    /// Newest-accepted minus newest-applied ingest sequence number: how
+    /// far the store currently trails the delta log (zero once the log
+    /// drained).
+    pub ingest_lag: u64,
     /// Run-time store counters.
     pub store: StoreStats,
     /// Solver work counters, merged over pre-processing and refreshes.
@@ -816,6 +846,14 @@ impl VoiceService {
             &spec.unavailable_markers,
             &spec.extremum,
         )?;
+        let ingest = match &spec.ingest {
+            Some(options) => Some(IngestState::new(
+                options.clone(),
+                &spec.dataset,
+                &spec.config,
+            )?),
+            None => None,
+        };
         let help_text = spec.help_text.unwrap_or_else(|| {
             format!(
                 "Ask about {} by {}.",
@@ -844,6 +882,7 @@ impl VoiceService {
                 solver_time: report.solver_time,
             }),
             counters: Arc::new(RequestCounters::default()),
+            ingest,
         });
         let mut tenants = self.tenants.write();
         if tenants.contains_key(&spec.name) {
@@ -870,6 +909,12 @@ impl VoiceService {
             .ok_or_else(|| EngineError::UnknownTenant {
                 name: name.to_string(),
             })?;
+        // On an ingest-enabled tenant the caller's dataset is
+        // authoritative: the delta log is quiesced for the duration (the
+        // log lock is always taken *before* the refresh lock) and reset
+        // to the new table on success. Everything pending is considered
+        // applied by the refresh.
+        let mut log = tenant.ingest.as_ref().map(|state| state.inner.lock());
         // Holding the refresh lock for the whole run serializes
         // refreshes per tenant without blocking the respond path.
         let _refresh = tenant.refresh_lock.lock();
@@ -901,6 +946,13 @@ impl VoiceService {
             Workers::Pool(&self.pool, ScatterPriority::Interactive),
         )?;
         *tenant.runtime.write() = runtime;
+        if let (Some(state), Some(inner)) = (tenant.ingest.as_ref(), log.as_mut()) {
+            inner.reset_from(dataset);
+            state
+                .counters
+                .applied_seqno
+                .store(inner.applied, Ordering::Relaxed);
+        }
         let mut rollup = tenant.rollup.lock();
         rollup.refreshes += 1;
         rollup.recomputed += report.recomputed as u64;
@@ -908,6 +960,159 @@ impl VoiceService {
         rollup.solver.merge(&report.instrumentation);
         rollup.solver_time += report.solver_time;
         Ok(report)
+    }
+
+    /// Accept a batch of row deltas into a tenant's streaming-ingestion
+    /// log (see [`crate::ingest`] for the dataflow). Every delta is
+    /// seqno-stamped and applied to the tenant's materialized table
+    /// immediately; the store is brought up to date by a debounced
+    /// flush — inline in this call when the dirty-set bound or the
+    /// coalescing window closes, otherwise by a later call or an
+    /// explicit [`VoiceService::drain_ingest`]. Lookups keep serving the
+    /// last-good speeches throughout; a validation error rejects the
+    /// whole batch before any of it is applied.
+    ///
+    /// Fails with [`EngineError::IngestDisabled`] unless the tenant was
+    /// registered with [`TenantSpec::ingest`].
+    pub fn ingest(&self, name: &str, deltas: &[RowDelta]) -> Result<IngestReport> {
+        self.ingest_with(name, deltas, false)
+    }
+
+    /// The delta-accepting variant of [`VoiceService::refresh_tenant`]:
+    /// accept `deltas` and synchronously drain the whole log through the
+    /// shared invalidation circuit, so the store reflects every accepted
+    /// delta when this returns. Batch refresh and streaming ingestion
+    /// share one invalidation code path; this entry point simply forces
+    /// the flush instead of debouncing it.
+    pub fn refresh_tenant_deltas(&self, name: &str, deltas: &[RowDelta]) -> Result<FlushReport> {
+        let report = self.ingest_with(name, deltas, true)?;
+        Ok(report.flush.expect("forced ingest always flushes"))
+    }
+
+    /// Force a full drain of a tenant's pending delta log, regardless of
+    /// debounce windows and rate caps. After a successful drain the
+    /// store snapshot is byte-identical to a cold pre-processing of the
+    /// materialized table (the convergence contract), and
+    /// [`TenantStats::ingest_lag`] is zero.
+    pub fn drain_ingest(&self, name: &str) -> Result<FlushReport> {
+        let report = self.ingest_with(name, &[], true)?;
+        Ok(report.flush.expect("forced ingest always flushes"))
+    }
+
+    /// Shared implementation of the streaming entry points.
+    fn ingest_with(&self, name: &str, deltas: &[RowDelta], force: bool) -> Result<IngestReport> {
+        let tenant = self
+            .tenant(name)
+            .ok_or_else(|| EngineError::UnknownTenant {
+                name: name.to_string(),
+            })?;
+        // An injected fault here fires *before* any delta is accepted,
+        // so a failed (and possibly retried) submission never leaves the
+        // log partially applied or double-applies a batch.
+        self.impose_control(FaultSite::Ingest)?;
+        let state = tenant
+            .ingest
+            .as_ref()
+            .ok_or_else(|| EngineError::IngestDisabled {
+                tenant: name.to_string(),
+            })?;
+        let mut inner = state.inner.lock();
+        let (first_seqno, last_seqno) = if deltas.is_empty() {
+            (0, 0)
+        } else {
+            inner.accept(deltas)?
+        };
+        state
+            .counters
+            .accepted_seqno
+            .store(inner.accepted, Ordering::Relaxed);
+        let flush = if force || state.auto_flush_due(&inner) {
+            Some(self.flush_ingest(&tenant, state, &mut inner)?)
+        } else {
+            None
+        };
+        Ok(IngestReport {
+            accepted: deltas.len(),
+            first_seqno,
+            last_seqno,
+            flush,
+        })
+    }
+
+    /// Drain the pending log into the store: re-solve exactly the dirty
+    /// `(query-subset, target)` summaries on the pool's Bulk lane and
+    /// swap them in atomically, entry by entry — untouched speeches stay
+    /// `Arc`-pointer-stable and lookups are never blocked. The store is
+    /// only mutated after every dirty query solved, so a failed flush
+    /// keeps the log (and its dirty sets) intact for a later retry.
+    fn flush_ingest(
+        &self,
+        tenant: &Tenant,
+        state: &IngestState,
+        inner: &mut IngestInner,
+    ) -> Result<FlushReport> {
+        if inner.pending == 0 {
+            return Ok(FlushReport::empty());
+        }
+        let start = Instant::now();
+        let dataset = inner.dataset()?;
+        // Serialize against batch refreshes (log lock first, then the
+        // refresh lock — the same order `refresh_tenant` takes them).
+        let _refresh = tenant.refresh_lock.lock();
+        // As in `refresh_tenant`: the runtime rebuild is the only other
+        // fallible step, so it runs before the store is touched.
+        let runtime = Tenant::build_runtime(
+            &dataset,
+            &tenant.config,
+            &tenant.synonyms,
+            &tenant.unavailable_markers,
+            &tenant.extremum,
+        )?;
+        let options = PreprocessOptions {
+            workers: self.pool.workers(),
+            templates: tenant.templates.clone(),
+        };
+        let (all, by_target) = inner.dirty();
+        let report = resummarize_with(
+            &dataset,
+            &tenant.config,
+            self.summarizer.as_ref(),
+            &options,
+            &tenant.store,
+            Invalidation::DirtyKeys { all, by_target },
+            Workers::Pool(&self.pool, ScatterPriority::Bulk),
+        )?;
+        *tenant.runtime.write() = runtime;
+        let deltas = inner.pending;
+        inner.drained(report.recomputed, state.options.max_solves_per_sec);
+        let invalidated = report.recomputed + report.removed;
+        state
+            .counters
+            .deltas_applied
+            .fetch_add(deltas, Ordering::Relaxed);
+        state
+            .counters
+            .invalidated
+            .fetch_add(invalidated as u64, Ordering::Relaxed);
+        state
+            .counters
+            .resummarized
+            .fetch_add(report.recomputed as u64, Ordering::Relaxed);
+        state
+            .counters
+            .applied_seqno
+            .store(inner.applied, Ordering::Relaxed);
+        let mut rollup = tenant.rollup.lock();
+        rollup.solver.merge(&report.instrumentation);
+        rollup.solver_time += report.solver_time;
+        Ok(FlushReport {
+            deltas,
+            invalidated,
+            resummarized: report.recomputed,
+            removed: report.removed,
+            kept: report.kept,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// Remove a tenant (its store dies with the last outstanding
@@ -1128,6 +1333,19 @@ impl VoiceService {
                     refreshes: rollup.refreshes,
                     recomputed: rollup.recomputed,
                     removed: rollup.removed,
+                    deltas_applied: tenant.ingest.as_ref().map_or(0, |state| {
+                        state.counters.deltas_applied.load(Ordering::Relaxed)
+                    }),
+                    summaries_invalidated: tenant.ingest.as_ref().map_or(0, |state| {
+                        state.counters.invalidated.load(Ordering::Relaxed)
+                    }),
+                    summaries_resummarized: tenant.ingest.as_ref().map_or(0, |state| {
+                        state.counters.resummarized.load(Ordering::Relaxed)
+                    }),
+                    ingest_lag: tenant
+                        .ingest
+                        .as_ref()
+                        .map_or(0, |state| state.counters.lag()),
                     store: tenant.store.stats(),
                     solver: rollup.solver,
                     solver_time: rollup.solver_time,
@@ -1410,6 +1628,179 @@ mod tests {
         assert_eq!(stats.total_speeches(), 18);
         assert_eq!(stats.store_totals().lookups, 3);
         assert!(stats.solver_totals().gain_passes > 0);
+    }
+
+    #[test]
+    fn streaming_ingest_drains_to_cold_preprocess() {
+        use vqs_relalg::prelude::Value;
+        let service = service();
+        let base = dataset(7);
+        service
+            .register_dataset(
+                TenantSpec::new("svc", base.clone(), config()).ingest(
+                    IngestBuilder::new()
+                        .max_dirty(1000)
+                        .flush_interval(Duration::from_secs(3600)),
+                ),
+            )
+            .unwrap();
+        let moved = vec![Value::str("Summer"), Value::str("West"), Value::Float(5.25)];
+        let deltas = vec![
+            RowDelta::Insert(vec![
+                Value::str("Winter"),
+                Value::str("East"),
+                Value::Float(33.0),
+            ]),
+            RowDelta::Update {
+                row: 0,
+                values: moved.clone(),
+            },
+            RowDelta::Delete { row: 3 },
+        ];
+        let report = service.ingest("svc", &deltas).unwrap();
+        assert_eq!(report.accepted, 3);
+        assert_eq!((report.first_seqno, report.last_seqno), (1, 3));
+        assert!(report.flush.is_none(), "wide debounce window coalesces");
+        assert_eq!(service.stats().tenants[0].ingest_lag, 3);
+
+        let flush = service.drain_ingest("svc").unwrap();
+        assert_eq!(flush.deltas, 3);
+        assert!(flush.resummarized > 0);
+
+        // Convergence: byte-identical to a cold pre-processing of the
+        // final table.
+        let mut rows: Vec<Vec<Value>> = base.table.iter_rows().collect();
+        rows.push(vec![
+            Value::str("Winter"),
+            Value::str("East"),
+            Value::Float(33.0),
+        ]);
+        rows[0] = moved;
+        rows.remove(3);
+        let final_dataset = GeneratedDataset {
+            name: base.name.clone(),
+            table: Table::from_rows(base.table.schema().clone(), rows).unwrap(),
+            dims: base.dims.clone(),
+            targets: base.targets.clone(),
+        };
+        let cold = ServiceBuilder::new().workers(2).build();
+        cold.register_dataset(TenantSpec::new("svc", final_dataset, config()))
+            .unwrap();
+        assert_eq!(
+            service.tenant_store("svc").unwrap().snapshot(),
+            cold.tenant_store("svc").unwrap().snapshot()
+        );
+
+        let stats = service.stats();
+        let tenant = &stats.tenants[0];
+        assert_eq!(tenant.deltas_applied, 3);
+        assert_eq!(tenant.ingest_lag, 0);
+        assert!(tenant.summaries_resummarized > 0);
+        assert!(tenant.summaries_invalidated >= tenant.summaries_resummarized);
+    }
+
+    #[test]
+    fn ingest_requires_opt_in_and_valid_batches() {
+        use vqs_relalg::prelude::Value;
+        let service = service();
+        service
+            .register_dataset(TenantSpec::new("svc", dataset(7), config()))
+            .unwrap();
+        let err = service.ingest("svc", &[]).unwrap_err();
+        assert!(matches!(err, EngineError::IngestDisabled { .. }));
+        let err = service.ingest("missing", &[]).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTenant { .. }));
+
+        let streaming = ServiceBuilder::new().workers(2).build();
+        streaming
+            .register_dataset(
+                TenantSpec::new("svc", dataset(7), config()).ingest(IngestBuilder::new()),
+            )
+            .unwrap();
+        let err = streaming
+            .ingest("svc", &[RowDelta::Delete { row: 10_000 }])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidDelta { .. }));
+        // The rejected batch left nothing behind.
+        assert_eq!(streaming.stats().tenants[0].ingest_lag, 0);
+        let _ = Value::Null;
+    }
+
+    #[test]
+    fn refresh_tenant_deltas_matches_batch_refresh() {
+        use vqs_relalg::prelude::Value;
+        let streaming = service();
+        streaming
+            .register_dataset(
+                TenantSpec::new("svc", dataset(7), config()).ingest(IngestBuilder::new()),
+            )
+            .unwrap();
+        let flush = streaming
+            .refresh_tenant_deltas(
+                "svc",
+                &[RowDelta::Update {
+                    row: 2,
+                    values: vec![Value::str("Winter"), Value::str("West"), Value::Float(48.0)],
+                }],
+            )
+            .unwrap();
+        assert_eq!(flush.deltas, 1);
+        assert_eq!(streaming.stats().tenants[0].ingest_lag, 0);
+
+        // The batch path over the same final table lands on the same
+        // store.
+        let base = dataset(7);
+        let mut rows: Vec<Vec<Value>> = base.table.iter_rows().collect();
+        rows[2] = vec![Value::str("Winter"), Value::str("West"), Value::Float(48.0)];
+        let final_dataset = GeneratedDataset {
+            name: base.name.clone(),
+            table: Table::from_rows(base.table.schema().clone(), rows).unwrap(),
+            dims: base.dims.clone(),
+            targets: base.targets.clone(),
+        };
+        let batch = service();
+        batch
+            .register_dataset(TenantSpec::new("svc", base, config()))
+            .unwrap();
+        batch.refresh_tenant("svc", &final_dataset, &[2]).unwrap();
+        assert_eq!(
+            streaming.tenant_store("svc").unwrap().snapshot(),
+            batch.tenant_store("svc").unwrap().snapshot()
+        );
+    }
+
+    #[test]
+    fn full_refresh_resets_the_ingest_log() {
+        use vqs_relalg::prelude::Value;
+        let service = service();
+        service
+            .register_dataset(
+                TenantSpec::new("svc", dataset(7), config()).ingest(
+                    IngestBuilder::new()
+                        .max_dirty(1000)
+                        .flush_interval(Duration::from_secs(3600)),
+                ),
+            )
+            .unwrap();
+        service
+            .ingest(
+                "svc",
+                &[RowDelta::Insert(vec![
+                    Value::str("Winter"),
+                    Value::str("East"),
+                    Value::Float(12.0),
+                ])],
+            )
+            .unwrap();
+        assert_eq!(service.stats().tenants[0].ingest_lag, 1);
+        // A full refresh hands over authoritative data: the pending log
+        // is considered applied by it.
+        let replacement = dataset(8);
+        service.refresh_tenant("svc", &replacement, &[]).unwrap();
+        assert_eq!(service.stats().tenants[0].ingest_lag, 0);
+        // Subsequent deltas build on the replacement table.
+        let flush = service.drain_ingest("svc").unwrap();
+        assert_eq!(flush.deltas, 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use vqs_data::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};
 use vqs_engine::prelude::*;
+use vqs_relalg::prelude::{Table, Value};
 
 const LONG_WAIT: Duration = Duration::from_secs(120);
 
@@ -55,6 +56,33 @@ fn dataset(name: &str, seed: u64) -> GeneratedDataset {
 
 fn config(name: &str) -> Configuration {
     Configuration::new(name, &["season", "region"], &["delay"])
+}
+
+/// The seed of the streaming tenant's base table (distinct from the
+/// chaos tenant so store drift on one cannot mask drift on the other).
+const STREAM_SEED: u64 = 29;
+
+/// The `wave`-th ingest batch: one insert and one update, both always
+/// valid (rows are never deleted, and `wave` < the 160 base rows), so
+/// validity never depends on which earlier batches survived the faults.
+fn stream_batch(wave: usize) -> Vec<RowDelta> {
+    let seasons = ["Winter", "Summer"];
+    let regions = ["East", "West"];
+    vec![
+        RowDelta::Insert(vec![
+            Value::str(seasons[wave % 2]),
+            Value::str(regions[(wave / 2) % 2]),
+            Value::Float(10.0 + wave as f64),
+        ]),
+        RowDelta::Update {
+            row: wave,
+            values: vec![
+                Value::str(seasons[(wave + 1) % 2]),
+                Value::str(regions[wave % 2]),
+                Value::Float(20.0 + wave as f64),
+            ],
+        },
+    ]
 }
 
 /// Deadline-free requests whose answers must be byte-identical across a
@@ -128,7 +156,14 @@ fn chaos_plan_preserves_serving_invariants() {
                 Fault::Latency(Duration::from_millis(2)),
                 0.20,
             )
-            .rule(FaultSite::Register, Fault::SolverTimeout, 0.50),
+            .rule(FaultSite::Register, Fault::SolverTimeout, 0.50)
+            .rule(FaultSite::Ingest, Fault::SolverTimeout, 0.30)
+            .rule(
+                FaultSite::Ingest,
+                Fault::Latency(Duration::from_millis(2)),
+                0.20,
+            )
+            .rule(FaultSite::Ingest, Fault::Panic, 0.05),
     );
     let service = Arc::new(
         ServiceBuilder::new()
@@ -137,6 +172,16 @@ fn chaos_plan_preserves_serving_invariants() {
             .build(),
     );
     build_tenant(&service);
+    // A second, ingest-enabled tenant: streaming deltas ride the same
+    // background lane as the refreshes while the plan injects faults at
+    // the ingest entry. `max_dirty(1)` makes every accepted batch flush,
+    // so the incremental circuit itself runs under chaos.
+    service
+        .register_dataset(
+            TenantSpec::new("stream", dataset("stream", STREAM_SEED), config("stream"))
+                .ingest(IngestBuilder::new().max_dirty(1)),
+        )
+        .unwrap();
     let frontend = FrontEnd::builder(Arc::clone(&service))
         .workers(2)
         .queue_capacity(256)
@@ -149,6 +194,7 @@ fn chaos_plan_preserves_serving_invariants() {
     let mut zero_budget_total = 0u64;
     let mut refresh_tickets = Vec::new();
     let mut register_tickets = Vec::new();
+    let mut applied_batches: Vec<usize> = Vec::new();
     for wave in 0..WAVES {
         let mut tickets: Vec<ResponseTicket> = Vec::new();
         // Deadline-free traffic: must never expire or degrade; a
@@ -196,6 +242,26 @@ fn chaos_plan_preserves_serving_invariants() {
                 dataset("extra", 23 + wave as u64),
                 config("extra"),
             )));
+        }
+        // One streaming batch per wave, waited *before* the next wave's
+        // batch so the applied order is deterministic. The ingest fault
+        // site fires before any delta is accepted, so an Err ticket
+        // means the batch was never applied — and a retried one was
+        // applied exactly once.
+        match frontend
+            .submit_ingest("stream", stream_batch(wave))
+            .wait_timeout(LONG_WAIT)
+            .expect("ingest ticket never completed under chaos")
+        {
+            Ok(report) => {
+                assert_eq!(report.accepted, 2);
+                assert!(report.flush.is_some(), "max_dirty(1) flushes every batch");
+                applied_batches.push(wave);
+            }
+            Err(EngineError::Internal { what }) => {
+                assert!(what.contains("injected"), "unexpected ingest error: {what}")
+            }
+            Err(other) => panic!("unexpected ingest error {other:?}"),
         }
 
         // Every ticket completes — a hang here is an invariant failure,
@@ -317,6 +383,55 @@ fn chaos_plan_preserves_serving_invariants() {
         store.snapshot(),
         expected_store,
         "store drifted under chaos"
+    );
+
+    // ---- Streaming tenant: counters reconcile, log converges. ----
+    assert_eq!(stats.ingest_submitted, WAVES as u64);
+    assert_eq!(stats.ingest_deltas, 2 * WAVES as u64);
+    let flush = service.drain_ingest("stream").unwrap();
+    assert_eq!(flush.deltas, 0, "every accepted batch already flushed");
+    let final_stats = service.stats();
+    let stream = final_stats
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "stream")
+        .unwrap();
+    assert_eq!(
+        stream.deltas_applied,
+        2 * applied_batches.len() as u64,
+        "applied deltas disagree with the surviving tickets"
+    );
+    assert_eq!(stream.ingest_lag, 0);
+
+    // Convergence under chaos: the store equals a cold pre-processing
+    // of the table built from exactly the batches whose tickets
+    // returned Ok, in submission order.
+    let mut rows: Vec<Vec<Value>> = dataset("stream", STREAM_SEED).table.iter_rows().collect();
+    for &wave in &applied_batches {
+        for delta in stream_batch(wave) {
+            match delta {
+                RowDelta::Insert(values) => rows.push(values),
+                RowDelta::Update { row, values } => rows[row] = values,
+                RowDelta::Delete { row } => {
+                    rows.remove(row);
+                }
+            }
+        }
+    }
+    let base = dataset("stream", STREAM_SEED);
+    let expected = GeneratedDataset {
+        name: base.name.clone(),
+        table: Table::from_rows(base.table.schema().clone(), rows).unwrap(),
+        dims: base.dims.clone(),
+        targets: base.targets.clone(),
+    };
+    let cold = ServiceBuilder::new().workers(2).build();
+    cold.register_dataset(TenantSpec::new("stream", expected, config("stream")))
+        .unwrap();
+    assert_eq!(
+        service.tenant_store("stream").unwrap().snapshot(),
+        cold.tenant_store("stream").unwrap().snapshot(),
+        "streaming tenant did not converge under chaos"
     );
     frontend.shutdown();
 }
