@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Scale-regression gate over the committed BENCH_scale.json.
+
+Compares a fresh CI smoke run of `bench_scale --smoke` against the
+committed file's `smoke_baseline` section:
+
+* wall-time metrics (preprocess_ms, ingest_flush_ms, load p99) must not
+  regress beyond RATIO (1.5x), with an absolute noise floor so
+  microsecond-scale jitter on shared runners never trips the gate;
+* the wide-probe counts (wide_probe_16 / wide_probe_20) are pure
+  functions of the seeded store contents and must match *exactly* — a
+  drift means the lookup algorithm or the secondary index changed, which
+  is a finding to record in BENCH_scale.json, not noise.
+
+The committed baseline is regenerated per perf-relevant PR with
+`cargo run --release -p vqs-bench --bin bench_scale -- --out BENCH_scale.json`.
+
+Usage: check_scale.py BENCH_scale.json BENCH_scale.ci.json
+"""
+
+import json
+import sys
+
+RATIO = 1.5
+# (metric path, absolute floor below which both values are "fast enough
+# to not matter": ms for wall times, micros for latencies)
+WALL_METRICS = [
+    (("smoke_baseline", "preprocess_ms"), 20.0),
+    (("smoke_baseline", "ingest_flush_ms"), 20.0),
+    (("smoke_baseline", "load", "p99_intended_micros"), 20000.0),
+]
+EXACT_METRICS = [
+    ("smoke_baseline", "wide_probe_16"),
+    ("smoke_baseline", "wide_probe_20"),
+]
+
+
+def dig(data, path):
+    for key in path:
+        data = data[key]
+    return data
+
+
+def main(committed_path, fresh_path):
+    with open(committed_path) as handle:
+        committed = json.load(handle)
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+    if committed["schema"] != "vqs-bench-scale/v1":
+        raise SystemExit(f"unexpected schema in {committed_path}")
+    if fresh["schema"] != "vqs-bench-scale/v1":
+        raise SystemExit(f"unexpected schema in {fresh_path}")
+
+    failures = []
+    for path, floor in WALL_METRICS:
+        name = ".".join(path)
+        base = float(dig(committed, path))
+        now = float(dig(fresh, path))
+        if base <= floor and now <= floor:
+            verdict = "ok (under noise floor)"
+        elif now > RATIO * max(base, floor):
+            verdict = f"REGRESSED (> {RATIO}x)"
+            failures.append(name)
+        else:
+            verdict = "ok"
+        print(f"{name}: committed {base:.3f}, fresh {now:.3f} -- {verdict}")
+
+    for path in EXACT_METRICS:
+        name = ".".join(path)
+        base = dig(committed, path)
+        now = dig(fresh, path)
+        if base != now:
+            print(f"{name}: committed {base}, fresh {now} -- MISMATCH")
+            failures.append(name)
+        else:
+            print(f"{name}: {base} -- ok (exact)")
+
+    if failures:
+        raise SystemExit(f"scale gate failed on: {failures}")
+    print("scale gate OK")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    main(sys.argv[1], sys.argv[2])

@@ -26,6 +26,6 @@ pub mod synth;
 
 pub use scenarios::{
     acs_spec, all_specs, by_letter, flights_spec, nominal_fact_count, primaries_spec,
-    stackoverflow_spec, DEFAULT_SEED, FIG3_SCENARIOS,
+    scale_tenant_spec, stackoverflow_spec, wide_probe_spec, DEFAULT_SEED, FIG3_SCENARIOS,
 };
 pub use synth::{DimSpec, GeneratedDataset, SynthSpec, TargetSpec};

@@ -175,6 +175,50 @@ pub fn primaries_spec() -> SynthSpec {
     }
 }
 
+/// The scale-sweep synthetic tenant: a "heavy traffic from millions of
+/// users" analytics table (ROADMAP item 2), sized directly by row count
+/// through [`SynthSpec::generate_rows`] rather than a scale factor.
+/// Cardinalities are deliberately moderate — the enumerated subset
+/// count stays in the low thousands, so preprocess cost at millions of
+/// rows measures the *data* axis, not a combinatorial one.
+pub fn scale_tenant_spec() -> SynthSpec {
+    SynthSpec {
+        name: "ScaleTenant".to_string(),
+        dims: vec![
+            DimSpec::synthetic("region", "region", 12, 0.6),
+            DimSpec::synthetic("device", "device", 8, 0.8),
+            DimSpec::named("plan", &["free", "basic", "pro", "enterprise"]),
+            DimSpec::named(
+                "cohort",
+                &["new", "active", "dormant", "churned", "returning", "trial"],
+            ),
+        ],
+        targets: vec![
+            TargetSpec::new("engagement", 55.0, 14.0, 6.0, (0.0, 100.0))
+                .with_dim_weights(&[1.0, 0.5, 0.7, 0.9]),
+            TargetSpec::new("latency_ms", 120.0, 40.0, 20.0, (5.0, 1000.0))
+                .with_dim_weights(&[0.9, 1.0, 0.2, 0.3]),
+        ],
+        rows: 1_000_000,
+    }
+}
+
+/// A deliberately *wide* spec — `dims` binary dimensions, one target —
+/// for probing the store's predicate-count regimes: queries with up to
+/// 16 predicates enumerate `2^n` generalization candidates, and past 16
+/// the store falls back to a linear shard scan. The scale bench charts
+/// probe counts across that cliff.
+pub fn wide_probe_spec(dims: usize) -> SynthSpec {
+    SynthSpec {
+        name: format!("Wide-{dims}"),
+        dims: (0..dims)
+            .map(|d| DimSpec::named(&format!("d{d:02}"), &["a", "b"]))
+            .collect(),
+        targets: vec![TargetSpec::new("metric", 50.0, 10.0, 3.0, (0.0, 100.0))],
+        rows: 512,
+    }
+}
+
 /// All four scenario specs in Table I order.
 pub fn all_specs() -> Vec<SynthSpec> {
     vec![

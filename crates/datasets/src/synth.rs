@@ -142,15 +142,134 @@ impl GeneratedDataset {
     }
 }
 
+/// The derived sampling model of one spec: per-dimension cumulative
+/// distributions and the per-(target, dimension, value) additive
+/// effects. Building it consumes the effect draws from the model RNG;
+/// sampling rows afterwards is side-effect-free on the model, so any
+/// number of independently seeded RNGs can sample rows concurrently.
+struct SynthModel {
+    /// Cumulative categorical distribution per dimension (Zipf-ish).
+    dim_cdfs: Vec<Vec<f64>>,
+    /// `effects[t][d][code]`: additive contribution of dimension `d`
+    /// taking value `code` to target `t`.
+    effects: Vec<Vec<Vec<f64>>>,
+}
+
+/// Rows per generation chunk of [`SynthSpec::generate_rows`]. Fixed —
+/// never derived from the worker count — so chunk RNG streams, and
+/// therefore the generated bytes, are identical for any parallelism.
+const GEN_CHUNK: usize = 8_192;
+
+/// SplitMix64 step: decorrelates per-chunk seeds from the base seed so
+/// neighboring chunks don't get neighboring `StdRng` streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SynthSpec {
     /// Generate the data set at `scale` (scaling the row count) from a
     /// deterministic seed.
     pub fn generate(&self, seed: u64, scale: f64) -> GeneratedDataset {
         let rows = ((self.rows as f64 * scale).round() as usize).max(1);
         let mut rng = StdRng::seed_from_u64(seed);
+        // Model draws come off the same RNG stream the row loop then
+        // continues — the historical layout; golden tests pin its bytes.
+        let model = self.model(&mut rng);
+        let mut table = Table::empty(self.schema());
+        for _ in 0..rows {
+            table
+                .push_row(self.sample_row(&model, &mut rng))
+                .expect("generated row matches schema");
+        }
+        self.dataset(table)
+    }
 
+    /// Generate exactly `rows` rows on `workers` threads (`0` = all
+    /// available cores), deterministically in `(seed, rows)`: the table
+    /// is byte-identical for any worker count, because rows are produced
+    /// in fixed [`GEN_CHUNK`]-sized chunks each sampled from its own
+    /// chunk-seeded RNG, and chunks are assembled in order. The derived
+    /// model (value distributions, dimension effects) matches
+    /// [`SynthSpec::generate`] with the same seed; the row stream is a
+    /// different (but equally seeded) sample of the same population.
+    ///
+    /// This is the scale-bench entry point: row counts in the millions
+    /// are sized directly instead of through a scale factor, and
+    /// generation parallelizes.
+    pub fn generate_rows(&self, seed: u64, rows: usize, workers: usize) -> GeneratedDataset {
+        let rows = rows.max(1);
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let model = self.model(&mut StdRng::seed_from_u64(seed));
+        let chunk_count = rows.div_ceil(GEN_CHUNK);
+        let slots: Vec<std::sync::Mutex<Vec<Vec<Value>>>> = (0..chunk_count)
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let fill = |_worker: usize| loop {
+            let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if chunk >= chunk_count {
+                break;
+            }
+            let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ (chunk as u64 + 1)));
+            let count = GEN_CHUNK.min(rows - chunk * GEN_CHUNK);
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(self.sample_row(&model, &mut rng));
+            }
+            *slots[chunk].lock().expect("chunk slot poisoned") = out;
+        };
+        if workers <= 1 || chunk_count <= 1 {
+            fill(0);
+        } else {
+            std::thread::scope(|scope| {
+                for worker in 0..workers.min(chunk_count) {
+                    scope.spawn(move || fill(worker));
+                }
+            });
+        }
+        let table = Table::from_rows(
+            self.schema(),
+            slots
+                .into_iter()
+                .flat_map(|slot| slot.into_inner().expect("chunk slot poisoned")),
+        )
+        .expect("generated rows match schema");
+        self.dataset(table)
+    }
+
+    /// The spec's schema: dimension columns (strings) first, then
+    /// targets (floats).
+    fn schema(&self) -> Schema {
+        let mut fields: Vec<Field> = self
+            .dims
+            .iter()
+            .map(|d| Field::required(&d.name, ColumnType::Str))
+            .collect();
+        fields.extend(
+            self.targets
+                .iter()
+                .map(|t| Field::required(&t.name, ColumnType::Float)),
+        );
+        Schema::new(fields).expect("spec column names are unique")
+    }
+
+    /// Derive the sampling model, consuming the effect draws from `rng`
+    /// in the historical order (targets outer, dimensions inner, values
+    /// innermost — [`SynthSpec::generate`]'s byte-stability depends on
+    /// it).
+    fn model(&self, rng: &mut StdRng) -> SynthModel {
         // Per-dimension categorical distributions (Zipf-ish by rank).
-        let dim_weights: Vec<Vec<f64>> = self
+        let dim_cdfs: Vec<Vec<f64>> = self
             .dims
             .iter()
             .map(|dim| {
@@ -187,46 +306,40 @@ impl SynthSpec {
                     .collect()
             })
             .collect();
+        SynthModel { dim_cdfs, effects }
+    }
 
-        let mut fields: Vec<Field> = self
-            .dims
+    /// Sample one row: a dimension-code draw per dimension, then per
+    /// target one gaussian residual — the exact historical draw order.
+    fn sample_row(&self, model: &SynthModel, rng: &mut impl Rng) -> Vec<Value> {
+        let codes: Vec<usize> = model
+            .dim_cdfs
             .iter()
-            .map(|d| Field::required(&d.name, ColumnType::Str))
+            .map(|cdf| {
+                let x: f64 = rng.gen();
+                cdf.iter().position(|&c| x <= c).unwrap_or(cdf.len() - 1)
+            })
             .collect();
-        fields.extend(
-            self.targets
+        let mut row: Vec<Value> = codes
+            .iter()
+            .zip(&self.dims)
+            .map(|(&code, dim)| Value::str(&dim.values[code]))
+            .collect();
+        for (t, target) in self.targets.iter().enumerate() {
+            let effect: f64 = codes
                 .iter()
-                .map(|t| Field::required(&t.name, ColumnType::Float)),
-        );
-        let schema = Schema::new(fields).expect("spec column names are unique");
-        let mut table = Table::empty(schema);
-
-        for _ in 0..rows {
-            let codes: Vec<usize> = dim_weights
-                .iter()
-                .map(|cdf| {
-                    let x: f64 = rng.gen();
-                    cdf.iter().position(|&c| x <= c).unwrap_or(cdf.len() - 1)
-                })
-                .collect();
-            let mut row: Vec<Value> = codes
-                .iter()
-                .zip(&self.dims)
-                .map(|(&code, dim)| Value::str(&dim.values[code]))
-                .collect();
-            for (t, target) in self.targets.iter().enumerate() {
-                let effect: f64 = codes
-                    .iter()
-                    .enumerate()
-                    .map(|(d, &code)| effects[t][d][code])
-                    .sum();
-                let noise = gaussian(&mut rng) * target.noise;
-                let value = (target.base + effect + noise).clamp(target.min, target.max);
-                row.push(Value::Float(value));
-            }
-            table.push_row(row).expect("generated row matches schema");
+                .enumerate()
+                .map(|(d, &code)| model.effects[t][d][code])
+                .sum();
+            let noise = gaussian(rng) * target.noise;
+            let value = (target.base + effect + noise).clamp(target.min, target.max);
+            row.push(Value::Float(value));
         }
+        row
+    }
 
+    /// Wrap a finished table in the dataset envelope.
+    fn dataset(&self, table: Table) -> GeneratedDataset {
         GeneratedDataset {
             name: self.name.clone(),
             table,

@@ -175,6 +175,27 @@ impl StoredSpeech {
             self.utility / self.base_error
         }
     }
+
+    /// Approximate resident size in bytes: the struct itself plus the heap
+    /// behind its query, facts, and rendered text (string/vec lengths, not
+    /// capacities — a stable lower bound independent of allocator slack).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += self.query.target().len();
+        bytes += std::mem::size_of_val(self.query.predicates());
+        for (dim, value) in self.query.predicates() {
+            bytes += dim.len() + value.len();
+        }
+        bytes += self.facts.len() * std::mem::size_of::<NamedFact>();
+        for fact in &self.facts {
+            bytes += fact.scope.len() * std::mem::size_of::<(String, String)>();
+            for (dim, value) in &fact.scope {
+                bytes += dim.len() + value.len();
+            }
+        }
+        bytes += self.text.len();
+        bytes
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,16 @@ const SHED_TENANT_CAP: usize = 256;
 /// to this cap).
 const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(50);
 
+/// Longest the background flusher sleeps between passes. The adaptive
+/// tick sleeps half the shortest tenant `flush_interval`, but never more
+/// than this — so a tenant registered with a *smaller* interval while
+/// the flusher is mid-sleep is picked up within one bounded pass.
+const FLUSH_TICK_CAP: Duration = Duration::from_millis(100);
+
+/// Shortest flusher sleep (spinning faster than this buys nothing —
+/// `auto_flush_due` gates on the per-tenant interval anyway).
+const FLUSH_TICK_FLOOR: Duration = Duration::from_millis(1);
+
 /// What [`FrontEnd::submit`] does when admission would exceed a global
 /// cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -472,7 +482,16 @@ struct Counters {
     ingest_deltas: AtomicU64,
     peak_queued: AtomicU64,
     contained_panics: AtomicU64,
+    flush_ticks: AtomicU64,
+    background_flushes: AtomicU64,
     shed_by_tenant: Mutex<FxHashMap<String, u64>>,
+}
+
+/// Shutdown handshake for the background flusher thread: the stop flag
+/// under the mutex, the condvar to cut a tick sleep short at shutdown.
+struct FlusherSignal {
+    stop: Mutex<bool>,
+    wake: Condvar,
 }
 
 /// State shared between the front-end handle and its serving workers.
@@ -531,6 +550,13 @@ pub struct FrontEndStats {
     /// contained and the ticket completed with [`Answer::Internal`].
     /// Nonzero values indicate bugs, not load.
     pub contained_panics: u64,
+    /// Passes the background flusher made over the streaming tenants
+    /// (zero when the tick is disabled or no front-end flusher runs).
+    pub flush_ticks: u64,
+    /// Tenants whose pending delta log the background flusher drained —
+    /// flushes that happened *without* an ingest call to piggyback on
+    /// (a silent tenant converging on its `flush_interval`).
+    pub background_flushes: u64,
     /// Interactive sheds per tenant, sorted by tenant name.
     pub shed_by_tenant: Vec<(String, u64)>,
 }
@@ -548,13 +574,15 @@ pub struct FrontEndBuilder {
     default_deadline: Option<Duration>,
     background_retries: u32,
     retry_backoff: Duration,
+    flush_tick: Option<Duration>,
+    flush_tick_enabled: bool,
 }
 
 impl FrontEndBuilder {
     /// Start from the defaults: 2 serving workers, a 1024-deep ingress
     /// queue with no per-tenant cap below it, a 64-deep background lane,
-    /// the shed policy, no service-wide deadline, and up to 2 background
-    /// retries.
+    /// the shed policy, no service-wide deadline, up to 2 background
+    /// retries, and the adaptive background flush tick enabled.
     pub fn new(service: Arc<VoiceService>) -> FrontEndBuilder {
         FrontEndBuilder {
             service,
@@ -567,6 +595,8 @@ impl FrontEndBuilder {
             default_deadline: None,
             background_retries: 2,
             retry_backoff: Duration::from_millis(1),
+            flush_tick: None,
+            flush_tick_enabled: true,
         }
     }
 
@@ -645,6 +675,31 @@ impl FrontEndBuilder {
         self
     }
 
+    /// Fixed period for the background flush tick, overriding the
+    /// adaptive default (half the shortest streaming tenant's
+    /// [`flush_interval`], re-read every pass, capped at 100 ms). The
+    /// tick is what makes a tenant that goes *silent* after a burst
+    /// converge: without it, debounced flushes only run piggybacked on
+    /// the next ingest call. With the default (or any period ≤ the
+    /// interval), a lone delta is re-summarized within 2× its tenant's
+    /// `flush_interval` with no further calls.
+    ///
+    /// [`flush_interval`]: crate::ingest::IngestBuilder::flush_interval
+    pub fn flush_tick(mut self, period: Duration) -> FrontEndBuilder {
+        self.flush_tick = Some(period.max(FLUSH_TICK_FLOOR));
+        self.flush_tick_enabled = true;
+        self
+    }
+
+    /// Do not spawn the background flusher thread. Streaming tenants
+    /// then flush only inline with ingest calls (the pre-tick behavior)
+    /// or explicitly via [`VoiceService::drain_ingest`] /
+    /// [`VoiceService::ingest_tick`].
+    pub fn no_flush_tick(mut self) -> FrontEndBuilder {
+        self.flush_tick_enabled = false;
+        self
+    }
+
     /// Spawn the serving workers and build the front-end.
     pub fn build(self) -> FrontEnd {
         let workers = if self.workers == 0 {
@@ -682,6 +737,20 @@ impl FrontEndBuilder {
                     .expect("spawn serving worker")
             })
             .collect();
+        let flusher_signal = Arc::new(FlusherSignal {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let flusher = self.flush_tick_enabled.then(|| {
+            let shared = Arc::clone(&shared);
+            let service = Arc::clone(&self.service);
+            let signal = Arc::clone(&flusher_signal);
+            let period = self.flush_tick;
+            std::thread::Builder::new()
+                .name("vqs-flush".to_string())
+                .spawn(move || flusher_loop(&shared, &service, &signal, period))
+                .expect("spawn flusher")
+        });
         FrontEnd {
             service: self.service,
             shared,
@@ -695,6 +764,8 @@ impl FrontEndBuilder {
             background_retries: self.background_retries,
             retry_backoff: self.retry_backoff,
             handles,
+            flusher,
+            flusher_signal,
         }
     }
 }
@@ -715,6 +786,8 @@ pub struct FrontEnd {
     background_retries: u32,
     retry_backoff: Duration,
     handles: Vec<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
+    flusher_signal: Arc<FlusherSignal>,
 }
 
 impl std::fmt::Debug for FrontEnd {
@@ -1239,6 +1312,8 @@ impl FrontEnd {
             ingest_deltas: counters.ingest_deltas.load(Ordering::Relaxed),
             peak_queued: counters.peak_queued.load(Ordering::Relaxed),
             contained_panics: counters.contained_panics.load(Ordering::Relaxed),
+            flush_ticks: counters.flush_ticks.load(Ordering::Relaxed),
+            background_flushes: counters.background_flushes.load(Ordering::Relaxed),
             shed_by_tenant,
         }
     }
@@ -1258,12 +1333,69 @@ impl Drop for FrontEnd {
             let mut ingress = self.shared.ingress.lock().expect("ingress poisoned");
             ingress.shutdown = true;
         }
+        {
+            let mut stop = self.flusher_signal.stop.lock().expect("flusher poisoned");
+            *stop = true;
+        }
+        self.flusher_signal.wake.notify_all();
         self.shared.work_ready.notify_all();
         self.shared.space_interactive.notify_all();
         self.shared.space_background.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
+    }
+}
+
+/// Body of the background flusher thread: sleep one tick period (a
+/// fixed `period` when configured, else half the shortest streaming
+/// tenant's `flush_interval`, re-read every pass and capped at
+/// [`FLUSH_TICK_CAP`]), then drain every tenant whose debounce window
+/// is open via [`VoiceService::ingest_tick`]. A condvar wait makes the
+/// sleep cut short at shutdown, so dropping the front-end never waits
+/// out a tick.
+///
+/// Timing bound: `ingest_tick` flushes a tenant once
+/// `last_flush.elapsed() >= flush_interval`, and with a tick period of
+/// at most `flush_interval / 2` two consecutive passes always straddle
+/// that instant — a lone delta is re-summarized within 1.5× (worst
+/// case 2×) its tenant's interval with no further ingest calls.
+fn flusher_loop(
+    shared: &FrontShared,
+    service: &VoiceService,
+    signal: &FlusherSignal,
+    period: Option<Duration>,
+) {
+    let mut stop = signal.stop.lock().expect("flusher poisoned");
+    loop {
+        if *stop {
+            return;
+        }
+        let sleep = period
+            .or_else(|| service.min_flush_interval().map(|interval| interval / 2))
+            .unwrap_or(FLUSH_TICK_CAP)
+            .clamp(FLUSH_TICK_FLOOR, FLUSH_TICK_CAP);
+        let (guard, _) = signal
+            .wake
+            .wait_timeout(stop, sleep)
+            .expect("flusher poisoned");
+        stop = guard;
+        if *stop {
+            return;
+        }
+        drop(stop);
+        let flushed = service.ingest_tick();
+        shared.counters.flush_ticks.fetch_add(1, Ordering::Relaxed);
+        if flushed > 0 {
+            shared
+                .counters
+                .background_flushes
+                .fetch_add(flushed as u64, Ordering::Relaxed);
+        }
+        stop = signal.stop.lock().expect("flusher poisoned");
     }
 }
 
@@ -1617,6 +1749,61 @@ mod tests {
             .register_dataset(TenantSpec::new("fe", dataset(3), config()))
             .unwrap();
         service
+    }
+
+    #[test]
+    fn silent_tenant_flushes_within_two_intervals() {
+        use crate::ingest::IngestBuilder;
+        use vqs_relalg::prelude::Value;
+
+        let interval = Duration::from_millis(100);
+        let service = Arc::new(ServiceBuilder::new().workers(1).build());
+        service
+            .register_dataset(
+                TenantSpec::new("fe", dataset(3), config())
+                    .ingest(IngestBuilder::new().flush_interval(interval)),
+            )
+            .unwrap();
+        let frontend = FrontEnd::builder(Arc::clone(&service)).workers(1).build();
+        // One lone delta: far below `max_dirty` and inside the debounce
+        // window, so the accepting call coalesces instead of flushing.
+        let report = frontend
+            .submit_ingest(
+                "fe",
+                vec![RowDelta::Insert(vec![
+                    Value::str("Winter"),
+                    Value::Float(9.0),
+                ])],
+            )
+            .wait()
+            .unwrap();
+        assert!(
+            report.flush.is_none(),
+            "lone delta must debounce, not flush inline"
+        );
+        // ... then the tenant goes silent. The background flush tick
+        // must drain the log within 2× the interval, no further calls.
+        let deadline = Instant::now() + 2 * interval;
+        let lag = loop {
+            let stats = service.stats();
+            let lag = stats
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "fe")
+                .expect("tenant registered")
+                .ingest_lag;
+            if lag == 0 || Instant::now() >= deadline {
+                break lag;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(lag, 0, "silent tenant not flushed within 2x flush_interval");
+        let stats = frontend.stats();
+        assert!(stats.flush_ticks >= 1);
+        assert!(
+            stats.background_flushes >= 1,
+            "the flush must come from the background tick, not an ingest call"
+        );
     }
 
     #[test]

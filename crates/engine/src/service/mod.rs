@@ -1115,6 +1115,53 @@ impl VoiceService {
         })
     }
 
+    /// One pass of a background flusher: drain every streaming tenant
+    /// whose debounce window is open (pending deltas, `flush_interval`
+    /// elapsed, rate cap satisfied). This is what lets a tenant that
+    /// goes *silent* after a burst converge — without it, flushes only
+    /// piggyback on the next `ingest` call, which may never come.
+    ///
+    /// Uses `try_lock` on each tenant's log so a tick never stalls
+    /// behind an in-flight ingest (that ingest will flush inline
+    /// anyway); a skipped tenant is simply retried on the next tick.
+    /// Flush errors leave the log and dirty sets intact for retry and
+    /// are reported in the per-tenant result list. Returns the number
+    /// of tenants flushed.
+    pub fn ingest_tick(&self) -> usize {
+        let tenants: Vec<Arc<Tenant>> = self.tenants.read().values().cloned().collect();
+        let mut flushed = 0;
+        for tenant in tenants {
+            let Some(state) = tenant.ingest.as_ref() else {
+                continue;
+            };
+            let Some(mut inner) = state.inner.try_lock() else {
+                continue;
+            };
+            if state.auto_flush_due(&inner) && self.flush_ingest(&tenant, state, &mut inner).is_ok()
+            {
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Shortest configured [`IngestBuilder::flush_interval`] across
+    /// streaming-enabled tenants (`None` when no tenant streams). The
+    /// front-end flusher derives its tick period from this so the
+    /// 2×-interval convergence bound holds for every tenant.
+    pub fn min_flush_interval(&self) -> Option<Duration> {
+        self.tenants
+            .read()
+            .values()
+            .filter_map(|tenant| {
+                tenant
+                    .ingest
+                    .as_ref()
+                    .map(|state| state.options.flush_interval)
+            })
+            .min()
+    }
+
     /// Remove a tenant (its store dies with the last outstanding
     /// reference). Returns whether the tenant existed.
     pub fn evict_tenant(&self, name: &str) -> bool {

@@ -73,6 +73,12 @@ pub struct StoreStats {
     pub generalized_hits: u64,
     /// Lookups answered by a miss.
     pub misses: u64,
+    /// Approximate resident size of the stored speeches in bytes
+    /// (struct + heap estimate per entry, see
+    /// [`StoredSpeech::approx_bytes`]). Computed by walking the shards
+    /// at snapshot time, so it tracks the *current* contents — the
+    /// scale benchmarks chart it against row count.
+    pub approx_bytes: u64,
 }
 
 impl StoreStats {
@@ -84,6 +90,7 @@ impl StoreStats {
         self.exact_hits += other.exact_hits;
         self.generalized_hits += other.generalized_hits;
         self.misses += other.misses;
+        self.approx_bytes += other.approx_bytes;
     }
 }
 
@@ -122,6 +129,18 @@ fn subset_mask(subset: &Query, query: &Query) -> Option<u64> {
         }
     }
     Some(mask)
+}
+
+/// Heap bytes behind a [`Query`]: the target string plus the predicate
+/// vector and its strings (string lengths, not capacities — the stable
+/// lower bound).
+fn query_heap_bytes(query: &Query) -> usize {
+    let mut bytes = query.target().len();
+    bytes += std::mem::size_of_val(query.predicates());
+    for (dim, value) in query.predicates() {
+        bytes += dim.len() + value.len();
+    }
+    bytes
 }
 
 /// Order-sensitive hash of a predicate-dimension name set (the names are
@@ -436,7 +455,7 @@ impl SpeechStore {
     }
 
     /// Point-in-time copy of the run-time counters (summed over the
-    /// per-shard stripes).
+    /// per-shard stripes), plus the walked byte footprint.
     pub fn stats(&self) -> StoreStats {
         let mut stats = StoreStats::default();
         for stripe in self.counters.iter() {
@@ -446,7 +465,26 @@ impl SpeechStore {
             stats.generalized_hits += stripe.generalized_hits.load(Ordering::Relaxed);
             stats.misses += stripe.misses.load(Ordering::Relaxed);
         }
+        stats.approx_bytes = self.approx_bytes() as u64;
         stats
+    }
+
+    /// Approximate resident size of the store in bytes: per-entry map
+    /// overhead plus each stored speech's struct-and-heap estimate. One
+    /// read-locked walk per call — a diagnostic, not a hot path.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for shard in self.shards.iter() {
+            let map = shard.read();
+            // Hash-map slot (key + Arc pointer + hash bookkeeping).
+            bytes += map.len()
+                * (std::mem::size_of::<Query>() + std::mem::size_of::<Arc<StoredSpeech>>() + 8);
+            for (query, speech) in map.iter() {
+                bytes += query_heap_bytes(query);
+                bytes += speech.approx_bytes();
+            }
+        }
+        bytes
     }
 
     /// Reset the run-time counters to zero.
@@ -496,6 +534,20 @@ mod tests {
             speech("cancelled", &[]),
         ]);
         store
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_contents() {
+        let empty = SpeechStore::new();
+        assert_eq!(empty.approx_bytes(), 0);
+        let store = store();
+        let small = store.approx_bytes();
+        assert!(small > 0);
+        // Per-entry accounting: adding a speech strictly grows the estimate,
+        // and the snapshot in `stats()` matches the direct walk.
+        store.extend([speech("delay", &[("region", "South")])]);
+        assert!(store.approx_bytes() > small);
+        assert_eq!(store.stats().approx_bytes, store.approx_bytes() as u64);
     }
 
     #[test]

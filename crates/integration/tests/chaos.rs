@@ -509,3 +509,91 @@ fn deadline_pressured_request_degrades_to_greedy_not_apology() {
     let tenant = stats.tenants.iter().find(|t| t.tenant == "chaos").unwrap();
     assert_eq!(tenant.degraded_answers, 2);
 }
+
+/// The accounting invariant under *sustained* open-loop overload
+/// (ISSUE 10): an offered rate far past a deliberately slowed
+/// one-worker front-end, driven by the coordinated-omission-safe load
+/// generator. Every submission must land in exactly one of
+/// completed/shed/expired — under queue-full shedding and in-queue
+/// expiry at once — and the generator's own per-ticket classification
+/// must agree with the front-end's counters.
+#[test]
+fn overload_accounting_reconciles_under_open_loop_load() {
+    use vqs_bench::loadgen::{self, Arrival, LoadPlan, Schedule};
+
+    let seed = chaos_seed();
+    // Every respond sleeps 5ms: a ~200 req/s worker offered 3000 req/s.
+    let plan = Arc::new(FaultPlan::new(seed).rule_every(
+        FaultSite::Respond,
+        Fault::Latency(Duration::from_millis(5)),
+        1,
+    ));
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .workers(1)
+            .fault_plan(Arc::clone(&plan))
+            .build(),
+    );
+    build_tenant(&service);
+    let frontend = FrontEnd::builder(Arc::clone(&service))
+        .workers(1)
+        .queue_capacity(32)
+        .build();
+    plan.arm();
+
+    // Two deadline-free prototypes plus one whose fixed deadline falls
+    // ~150ms into the run: cycled clones submitted after that instant
+    // expire in the backed-up queue rather than being computed.
+    let stale_deadline = std::time::Instant::now() + Duration::from_millis(150);
+    let requests = vec![
+        ServiceRequest::new("chaos", "delay in Winter?"),
+        ServiceRequest::new("chaos", "delay in Summer?"),
+        ServiceRequest::new("chaos", "delay in the West?").with_deadline(stale_deadline),
+    ];
+    let load_plan = LoadPlan::respond_only(
+        Schedule::new(Arrival::Constant { rate: 3000.0 }, 600, seed),
+        requests,
+        seed,
+    );
+    let report = loadgen::run(&frontend, &load_plan);
+    plan.disarm();
+
+    // The generator accounted every submission exactly once...
+    assert_eq!(report.responds, 600);
+    assert_eq!(
+        report.answered + report.shed + report.expired + report.internal,
+        600,
+        "loadgen lost a ticket: {report:?}"
+    );
+    // ...the overload genuinely bit on both rungs...
+    assert!(
+        report.shed > 0,
+        "no sheds — not an overload run: {report:?}"
+    );
+    assert!(
+        report.expired > 0,
+        "no expiries — stale deadlines never queued: {report:?}"
+    );
+    assert!(report.answered > 0, "the worker starved entirely");
+
+    // ...and the front-end's own counters reconcile and agree with the
+    // generator's per-ticket classification.
+    let stats = frontend.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.shed + stats.expired,
+        "submitted != completed + shed + expired: {stats:?}"
+    );
+    assert_eq!(stats.submitted, 600);
+    assert_eq!(stats.shed, report.shed);
+    assert_eq!(stats.expired, report.expired);
+    assert_eq!(stats.contained_panics, report.internal);
+
+    // Post-overload the worker still serves cleanly.
+    let response = frontend
+        .submit(ServiceRequest::new("chaos", "delay in Winter?"))
+        .wait_timeout(LONG_WAIT)
+        .expect("post-overload ticket never completed");
+    assert!(response.answer.is_speech(), "worker did not recover");
+    frontend.shutdown();
+}
